@@ -1,0 +1,228 @@
+//! Geometry of the q-ary progress tree (Section 5.1.1).
+//!
+//! The tree has height `h` with `q^h` leaves, stored in a flat boolean
+//! array: node 0 is the root and the children of node `x` are
+//! `q·x + 1, …, q·x + q`. The number of nodes is
+//! `l = (q^{h+1} − 1)/(q − 1)`, the leaves are the last `q^h` nodes, and
+//! leaf number `j` (zero-based) is node `l − q^h + j`.
+//!
+//! When the number of jobs `n` is not a power of `q`, the tree is sized for
+//! the next power and the trailing `q^h − n` *dummy* leaves are pre-marked
+//! done, together with any interior node whose whole subtree is dummy —
+//! the paper's padding device, without wasting steps on dummy work.
+
+use doall_core::BitSet;
+
+/// Shape of a q-ary progress tree for `n` real jobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeShape {
+    q: usize,
+    h: usize,
+    node_count: usize,
+    leaf_base: usize,
+    jobs: usize,
+}
+
+impl TreeShape {
+    /// Computes the shape for `n ≥ 1` real jobs with branching factor
+    /// `q ≥ 2`: height `h = ⌈log_q n⌉`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `q < 2`.
+    #[must_use]
+    pub fn new(q: usize, n: usize) -> Self {
+        assert!(q >= 2, "branching factor must be at least 2");
+        assert!(n >= 1, "need at least one job");
+        let mut h = 0usize;
+        let mut leaves = 1usize;
+        while leaves < n {
+            leaves *= q;
+            h += 1;
+        }
+        // l = 1 + q + … + q^h = (q^{h+1} − 1)/(q − 1).
+        let node_count = (leaves * q - 1) / (q - 1);
+        Self {
+            q,
+            h,
+            node_count,
+            leaf_base: node_count - leaves,
+            jobs: n,
+        }
+    }
+
+    /// Branching factor `q`.
+    #[must_use]
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Height `h` (leaves are at depth `h`; `h = 0` means the root is the
+    /// only — leaf — node).
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.h
+    }
+
+    /// Total number of nodes `l`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Number of leaves `q^h` (including dummies).
+    #[must_use]
+    pub fn leaf_count(&self) -> usize {
+        self.node_count - self.leaf_base
+    }
+
+    /// Number of real jobs `n`.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Whether `node` is a leaf.
+    #[must_use]
+    pub fn is_leaf(&self, node: usize) -> bool {
+        node >= self.leaf_base
+    }
+
+    /// The `c`-th child (zero-based) of interior node `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `node` is a leaf or `c ≥ q`.
+    #[must_use]
+    pub fn child(&self, node: usize, c: usize) -> usize {
+        debug_assert!(!self.is_leaf(node), "leaves have no children");
+        debug_assert!(c < self.q, "child index out of range");
+        self.q * node + 1 + c
+    }
+
+    /// The node of leaf number `j` (zero-based, `j < q^h`).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `j` is out of range.
+    #[must_use]
+    pub fn leaf_node(&self, j: usize) -> usize {
+        debug_assert!(j < self.leaf_count(), "leaf index out of range");
+        self.leaf_base + j
+    }
+
+    /// The job of leaf node `node`, or `None` for a dummy leaf.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `node` is not a leaf.
+    #[must_use]
+    pub fn job_of_leaf(&self, node: usize) -> Option<usize> {
+        debug_assert!(self.is_leaf(node), "not a leaf");
+        let j = node - self.leaf_base;
+        (j < self.jobs).then_some(j)
+    }
+
+    /// The initial replica: all zeros except dummy leaves and interior
+    /// nodes whose entire subtree is dummy.
+    #[must_use]
+    pub fn initial_bits(&self) -> BitSet {
+        let mut bits = BitSet::new(self.node_count);
+        for j in self.jobs..self.leaf_count() {
+            bits.insert(self.leaf_node(j));
+        }
+        // Bottom-up: an interior node is pre-done iff all children are.
+        for node in (0..self.leaf_base).rev() {
+            if (0..self.q).all(|c| bits.contains(self.child(node, c))) {
+                bits.insert(node);
+            }
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_power_shape() {
+        let s = TreeShape::new(3, 9);
+        assert_eq!(s.height(), 2);
+        assert_eq!(s.leaf_count(), 9);
+        assert_eq!(s.node_count(), 13); // 1 + 3 + 9
+        assert_eq!(s.leaf_base, 4);
+        assert!(s.initial_bits().count() == 0, "no dummies");
+    }
+
+    #[test]
+    fn single_job_is_root_leaf() {
+        let s = TreeShape::new(2, 1);
+        assert_eq!(s.height(), 0);
+        assert_eq!(s.node_count(), 1);
+        assert!(s.is_leaf(0));
+        assert_eq!(s.job_of_leaf(0), Some(0));
+    }
+
+    #[test]
+    fn children_layout() {
+        let s = TreeShape::new(2, 4);
+        // Nodes: 0; 1,2; 3,4,5,6 (leaves).
+        assert_eq!(s.node_count(), 7);
+        assert_eq!(s.child(0, 0), 1);
+        assert_eq!(s.child(0, 1), 2);
+        assert_eq!(s.child(1, 0), 3);
+        assert_eq!(s.child(2, 1), 6);
+        assert!(s.is_leaf(3) && s.is_leaf(6));
+        assert!(!s.is_leaf(2));
+        assert_eq!(s.leaf_node(0), 3);
+        assert_eq!(s.job_of_leaf(5), Some(2));
+    }
+
+    #[test]
+    fn padding_marks_dummies_and_dummy_subtrees() {
+        // q = 2, n = 5 → 8 leaves, 3 dummies (leaves 5, 6, 7).
+        let s = TreeShape::new(2, 5);
+        assert_eq!(s.leaf_count(), 8);
+        assert_eq!(s.node_count(), 15);
+        let bits = s.initial_bits();
+        for j in 0..5 {
+            assert!(!bits.contains(s.leaf_node(j)), "real leaf {j} unmarked");
+        }
+        for j in 5..8 {
+            assert!(bits.contains(s.leaf_node(j)), "dummy leaf {j} marked");
+        }
+        // Leaves 6 and 7 are children of node 6 (children 13, 14): all
+        // dummy, so node 6 is pre-marked; node 5 (children 11, 12) has the
+        // real leaf 11, so it is not.
+        assert!(bits.contains(6));
+        assert!(!bits.contains(5));
+        assert!(!bits.contains(0), "root never pre-marked with real jobs");
+    }
+
+    #[test]
+    fn job_of_dummy_leaf_is_none() {
+        let s = TreeShape::new(3, 2); // 3 leaves, 1 dummy
+        assert_eq!(s.job_of_leaf(s.leaf_node(1)), Some(1));
+        assert_eq!(s.job_of_leaf(s.leaf_node(2)), None);
+    }
+
+    #[test]
+    fn node_count_formula() {
+        for q in 2..=5 {
+            for n in 1..=30 {
+                let s = TreeShape::new(q, n);
+                // Sum of geometric series check.
+                let mut total = 0usize;
+                let mut level = 1usize;
+                for _ in 0..=s.height() {
+                    total += level;
+                    level *= q;
+                }
+                assert_eq!(s.node_count(), total, "q={q} n={n}");
+                assert!(s.leaf_count() >= n);
+                assert!(s.height() == 0 || s.leaf_count() / q < n, "minimal height");
+            }
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The algorithm-factory trait used by the experiment harness.
+
+use doall_core::{DoAllProcess, Instance};
+
+/// A Do-All algorithm, viewed as a factory of per-processor state
+/// machines.
+///
+/// Implementations hold the algorithm's parameters (e.g. DA's branching
+/// factor and schedule list); [`spawn`](Self::spawn) materializes the `p`
+/// state machines for a concrete instance. Spawning is deterministic:
+/// spawning twice yields identical initial states (randomized algorithms
+/// derive per-processor RNG seeds from the configured seed), which is what
+/// makes simulated executions reproducible.
+pub trait Algorithm {
+    /// Human-readable name used in experiment tables (e.g. `"DA(3)"`).
+    fn name(&self) -> String;
+
+    /// Creates one state machine per processor of `instance`.
+    fn spawn(&self, instance: Instance) -> Vec<Box<dyn DoAllProcess>>;
+}

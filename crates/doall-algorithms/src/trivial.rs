@@ -1,0 +1,130 @@
+//! The communication-oblivious baseline: every processor performs every
+//! task.
+//!
+//! "The problem can be solved by a communication-oblivious algorithm where
+//! each processor performs all tasks. Such a solution has work
+//! `W = Θ(t·p)` and requires no communication" (Section 1). This is the
+//! quadratic ceiling every delay-sensitive algorithm is measured against —
+//! and the *optimal* strategy once `d = Ω(t)` (Proposition 2.2).
+
+use crate::Algorithm;
+use doall_core::{DoAllProcess, Instance, Message, ProcId, StepOutcome, TaskId};
+
+/// Factory for the oblivious each-does-everything baseline.
+///
+/// Each processor sweeps all `t` tasks in index order rotated by its own
+/// pid (`pid · ⌈t/p⌉` positions), sends nothing, and halts when its own
+/// sweep is complete. The rotation does not change the worst-case work
+/// (`p · t` exactly) but makes the ground-truth completion time `t/p` in
+/// failure-free executions, which is the behaviour one would deploy.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoloAll;
+
+impl SoloAll {
+    /// Creates the factory.
+    #[must_use]
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+impl Algorithm for SoloAll {
+    fn name(&self) -> String {
+        "SoloAll".to_string()
+    }
+
+    fn spawn(&self, instance: Instance) -> Vec<Box<dyn DoAllProcess>> {
+        let p = instance.processors();
+        let t = instance.tasks();
+        let stride = t.div_ceil(p);
+        (0..p)
+            .map(|i| {
+                Box::new(SoloAllProcess {
+                    pid: ProcId::new(i),
+                    t,
+                    offset: (i * stride) % t,
+                    done: 0,
+                }) as Box<dyn DoAllProcess>
+            })
+            .collect()
+    }
+}
+
+/// Per-processor state machine of [`SoloAll`].
+#[derive(Debug, Clone)]
+pub struct SoloAllProcess {
+    pid: ProcId,
+    t: usize,
+    offset: usize,
+    done: usize,
+}
+
+impl DoAllProcess for SoloAllProcess {
+    fn pid(&self) -> ProcId {
+        self.pid
+    }
+
+    fn step(&mut self, _inbox: &[Message]) -> StepOutcome {
+        if self.done < self.t {
+            let z = (self.offset + self.done) % self.t;
+            self.done += 1;
+            StepOutcome::perform(TaskId::new(z))
+        } else {
+            StepOutcome::internal()
+        }
+    }
+
+    fn knows_all_done(&self) -> bool {
+        self.done >= self.t
+    }
+
+    fn clone_box(&self) -> Box<dyn DoAllProcess> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawns_one_per_processor() {
+        let inst = Instance::new(4, 10).unwrap();
+        let procs = SoloAll::new().spawn(inst);
+        assert_eq!(procs.len(), 4);
+        for (i, p) in procs.iter().enumerate() {
+            assert_eq!(p.pid(), ProcId::new(i));
+        }
+    }
+
+    #[test]
+    fn each_processor_performs_every_task_once() {
+        let inst = Instance::new(3, 7).unwrap();
+        let mut procs = SoloAll::new().spawn(inst);
+        for proc_ in &mut procs {
+            let mut seen = [false; 7];
+            for _ in 0..7 {
+                assert!(!proc_.knows_all_done());
+                let o = proc_.step(&[]);
+                let z = o.performed.expect("every step performs");
+                assert!(!seen[z.index()], "no repeats");
+                seen[z.index()] = true;
+                assert!(o.broadcast.is_none(), "oblivious: never communicates");
+            }
+            assert!(proc_.knows_all_done());
+            assert!(seen.iter().all(|&b| b), "full coverage");
+            // Extra steps are harmless no-ops.
+            assert_eq!(proc_.step(&[]), StepOutcome::internal());
+        }
+    }
+
+    #[test]
+    fn offsets_spread_processors() {
+        let inst = Instance::new(2, 10).unwrap();
+        let mut procs = SoloAll::new().spawn(inst);
+        let first0 = procs[0].step(&[]).performed.unwrap();
+        let first1 = procs[1].step(&[]).performed.unwrap();
+        assert_eq!(first0, TaskId::new(0));
+        assert_eq!(first1, TaskId::new(5), "rotated by ⌈t/p⌉");
+    }
+}

@@ -1,0 +1,158 @@
+//! Property-based tests of the algorithm state machines, independent of
+//! the simulator.
+
+use doall_algorithms::{Algorithm, Da, ObliDo, PaDet, PaGossip, PaRan1, PaRan2, SoloAll};
+use doall_core::{DoAllProcess, Instance, Message, ProcId};
+use doall_perms::Schedules;
+use proptest::prelude::*;
+
+/// Drives a single processor with no incoming messages until it knows
+/// everything; returns the performed task indices in order.
+fn run_solo(mut proc_: Box<dyn DoAllProcess>, limit: usize) -> Vec<usize> {
+    let mut performed = Vec::new();
+    let mut steps = 0;
+    while !proc_.knows_all_done() {
+        if let Some(z) = proc_.step(&[]).performed {
+            performed.push(z.index());
+        }
+        steps += 1;
+        assert!(steps < limit, "state machine diverged");
+    }
+    performed
+}
+
+fn algorithm(which: u8, instance: Instance, seed: u64) -> Box<dyn Algorithm> {
+    match which % 7 {
+        0 => Box::new(SoloAll::new()),
+        1 => Box::new(Da::with_default_schedules(2 + (seed % 4) as usize, seed)),
+        2 => Box::new(Da::with_default_schedules(3, seed)),
+        3 => Box::new(PaRan1::new(seed)),
+        4 => Box::new(PaRan2::new(seed)),
+        5 => Box::new(PaGossip::new(seed, 1 + (seed % 3) as usize)),
+        _ => Box::new(PaDet::random_for(instance, seed)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Solo completeness: any algorithm's processor 0, receiving no
+    /// messages, performs every task at least once and each at most a
+    /// bounded number of times (exactly once for everything except
+    /// SoloAll's full sweep semantics, but we only assert coverage +
+    /// sanity here).
+    #[test]
+    fn any_processor_alone_covers_all_tasks(
+        p in 1usize..12,
+        t in 1usize..50,
+        which in 0u8..7,
+        seed in any::<u64>(),
+    ) {
+        let instance = Instance::new(p, t).unwrap();
+        let algo = algorithm(which, instance, seed);
+        let procs = algo.spawn(instance);
+        prop_assert_eq!(procs.len(), p);
+        let performed = run_solo(procs.into_iter().next().unwrap(), 100 * (t + 16) * 4);
+        let mut seen = vec![false; t];
+        for z in &performed {
+            seen[*z] = true;
+        }
+        prop_assert!(seen.iter().all(|&b| b), "{}: missed tasks", algo.name());
+        // No algorithm performs a task more than a small constant number
+        // of times when running alone.
+        let mut counts = vec![0usize; t];
+        for z in &performed {
+            counts[*z] += 1;
+        }
+        prop_assert!(
+            counts.iter().all(|&c| c <= 2),
+            "{}: solo run repeated a task more than twice",
+            algo.name()
+        );
+    }
+
+    /// Spawn determinism: spawning twice and driving identically produces
+    /// identical behaviour (the bedrock of reproducible experiments).
+    #[test]
+    fn spawn_is_deterministic(
+        p in 1usize..8,
+        t in 1usize..30,
+        which in 0u8..7,
+        seed in any::<u64>(),
+    ) {
+        let instance = Instance::new(p, t).unwrap();
+        let algo = algorithm(which, instance, seed);
+        let run = || {
+            algo.spawn(instance)
+                .into_iter()
+                .map(|proc_| run_solo(proc_, 100 * (t + 16) * 4))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Knowledge transfer: feeding processor B the final broadcast of a
+    /// completed processor A makes B finish without performing anything
+    /// (for the knowledge-sharing algorithms).
+    #[test]
+    fn final_broadcast_transfers_completion(
+        p in 2usize..8,
+        t in 1usize..30,
+        which in 1u8..7, // skip SoloAll, which never broadcasts
+        seed in any::<u64>(),
+    ) {
+        let instance = Instance::new(p, t).unwrap();
+        let algo = algorithm(which, instance, seed);
+        let mut procs = algo.spawn(instance);
+        // Drive processor 0 to completion, capturing its last broadcast.
+        let mut last = None;
+        let mut steps = 0;
+        while !procs[0].knows_all_done() {
+            if let Some(bits) = procs[0].step(&[]).broadcast {
+                last = Some(bits);
+            }
+            steps += 1;
+            prop_assert!(steps < 100 * (t + 16) * 4, "diverged");
+        }
+        let Some(bits) = last else {
+            // t = 1 single job can complete without broadcasting only if
+            // the algorithm broadcasts on completion — all of ours do.
+            return Err(TestCaseError::fail("no broadcast observed"));
+        };
+        let msg = Message::new(ProcId::new(0), bits);
+        // Processor 1 learns everything in at most a couple of steps (the
+        // merge happens at the start of its next step; DA may take one
+        // extra internal step to pop its stack).
+        let target = &mut procs[1];
+        let mut informed = false;
+        let mut extra_work = 0;
+        for i in 0..3 {
+            let inbox = if i == 0 { std::slice::from_ref(&msg) } else { &[] };
+            let outcome = target.step(inbox);
+            if outcome.performed.is_some() {
+                extra_work += 1;
+            }
+            if target.knows_all_done() {
+                informed = true;
+                break;
+            }
+        }
+        prop_assert!(informed, "{}: did not learn from final broadcast", algo.name());
+        // Learning from a completed peer may at most finish one in-flight
+        // task, never a whole extra sweep.
+        prop_assert!(extra_work <= 1);
+    }
+
+    /// ObliDo performs exactly n·p job executions whatever the schedules.
+    #[test]
+    fn oblido_total_work_is_np(n in 1usize..12, seed in any::<u64>(), extra_p in 0usize..4) {
+        let p = n + extra_p;
+        let instance = Instance::new(p, n).unwrap();
+        let algo = ObliDo::new(Schedules::random(n, n, seed));
+        let mut total = 0usize;
+        for proc_ in algo.spawn(instance) {
+            total += run_solo(proc_, 100 * (n + 16)).len();
+        }
+        prop_assert_eq!(total, n * p);
+    }
+}

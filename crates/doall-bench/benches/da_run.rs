@@ -1,0 +1,36 @@
+//! Criterion bench: full DA(q) executions — the tree algorithm's cost
+//! across branching factors and delay regimes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doall_algorithms::{Algorithm, Da};
+use doall_core::Instance;
+use doall_sim::adversary::StageAligned;
+use doall_sim::Simulation;
+use std::hint::black_box;
+
+fn bench_da(c: &mut Criterion) {
+    let mut group = c.benchmark_group("da_run");
+    group.sample_size(20);
+    for q in [2usize, 3] {
+        let da = Da::with_default_schedules(q, 0);
+        let instance = Instance::new(27, 729).unwrap();
+        for d in [1u64, 27] {
+            group.bench_function(format!("q={q}/p=27/t=729/d={d}"), |bench| {
+                bench.iter(|| {
+                    black_box(
+                        Simulation::new(
+                            instance,
+                            da.spawn(instance),
+                            Box::new(StageAligned::new(d)),
+                        )
+                        .run(),
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_da);
+criterion_main!(benches);

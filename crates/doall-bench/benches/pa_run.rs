@@ -1,0 +1,59 @@
+//! Criterion bench: full PA-family executions, including the lower-bound
+//! adversary (whose per-stage dry-runs dominate its cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doall_algorithms::{Algorithm, PaDet, PaRan1};
+use doall_core::Instance;
+use doall_sim::adversary::{LowerBoundAdversary, StageAligned};
+use doall_sim::Simulation;
+use std::hint::black_box;
+
+fn bench_pa(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pa_run");
+    group.sample_size(20);
+    let instance = Instance::new(64, 256).unwrap();
+    let padet = PaDet::random_for(instance, 0);
+    for d in [1u64, 16, 64] {
+        group.bench_function(format!("padet/p=64/t=256/d={d}"), |bench| {
+            bench.iter(|| {
+                black_box(
+                    Simulation::new(
+                        instance,
+                        padet.spawn(instance),
+                        Box::new(StageAligned::new(d)),
+                    )
+                    .run(),
+                )
+            });
+        });
+    }
+    group.bench_function("paran1/p=64/t=256/d=16", |bench| {
+        bench.iter(|| {
+            let algo = PaRan1::new(3);
+            black_box(
+                Simulation::new(
+                    instance,
+                    algo.spawn(instance),
+                    Box::new(StageAligned::new(16)),
+                )
+                .run(),
+            )
+        });
+    });
+    group.bench_function("padet_vs_lb_adversary/p=64/t=256/d=16", |bench| {
+        bench.iter(|| {
+            black_box(
+                Simulation::new(
+                    instance,
+                    padet.spawn(instance),
+                    Box::new(LowerBoundAdversary::new(16, 256)),
+                )
+                .run(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pa);
+criterion_main!(benches);

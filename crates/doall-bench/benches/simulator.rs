@@ -1,0 +1,48 @@
+//! Criterion bench: simulator throughput — full executions per second for
+//! the shapes the experiments sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doall_algorithms::{Algorithm, PaRan2, SoloAll};
+use doall_core::Instance;
+use doall_sim::adversary::{FixedDelay, StageAligned};
+use doall_sim::Simulation;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+
+    let instance = Instance::new(32, 128).unwrap();
+    group.bench_function("solo_all/p=32/t=128", |bench| {
+        bench.iter(|| {
+            let algo = SoloAll::new();
+            black_box(
+                Simulation::new(instance, algo.spawn(instance), Box::new(FixedDelay::new(8))).run(),
+            )
+        });
+    });
+    group.bench_function("pa_ran2/p=32/t=128/d=8", |bench| {
+        bench.iter(|| {
+            let algo = PaRan2::new(1);
+            black_box(
+                Simulation::new(
+                    instance,
+                    algo.spawn(instance),
+                    Box::new(StageAligned::new(8)),
+                )
+                .run(),
+            )
+        });
+    });
+    let big = Instance::new(128, 512).unwrap();
+    group.bench_function("pa_ran2/p=128/t=512/d=32", |bench| {
+        bench.iter(|| {
+            let algo = PaRan2::new(1);
+            black_box(Simulation::new(big, algo.spawn(big), Box::new(StageAligned::new(32))).run())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

@@ -1,0 +1,214 @@
+//! Shared harness for the experiment binaries (E1–E12 in DESIGN.md):
+//! Markdown table printing, seed-averaged runs, and the standard
+//! algorithm roster.
+//!
+//! Each experiment is a binary under `src/bin/`; run them all with
+//! `cargo run --release -p doall-bench --bin all_experiments` to
+//! regenerate the tables recorded in EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use doall_algorithms::{Algorithm, Da, PaDet, PaRan1, PaRan2, SoloAll};
+use doall_core::{Instance, RunReport};
+use doall_sim::{Adversary, Simulation};
+
+/// A Markdown table accumulated row by row and printed to stdout.
+#[derive(Debug, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width does not match the header width.
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Prints the table as GitHub-flavoured Markdown.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect();
+            println!("| {} |", padded.join(" | "));
+        };
+        line(&self.headers);
+        let dashes: Vec<String> = widths.iter().map(|w| format!("{:->w$}", "-")).collect();
+        println!("|-{}-|", dashes.join("-|-"));
+        for row in &self.rows {
+            line(row);
+        }
+    }
+}
+
+/// Summary statistics of a set of runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Mean work across the runs.
+    pub mean_work: f64,
+    /// Maximum work across the runs.
+    pub max_work: u64,
+    /// Mean message count across the runs.
+    pub mean_messages: f64,
+    /// Number of runs aggregated.
+    pub runs: usize,
+}
+
+/// Runs `algo_for(seed)` against `adversary_for(seed)` for each seed in
+/// `0..seeds`, asserting completion, and aggregates work/messages.
+///
+/// # Panics
+///
+/// Panics if `seeds == 0` or any run fails to complete (experiments must
+/// not silently average over broken executions).
+#[must_use]
+pub fn seed_average(
+    instance: Instance,
+    seeds: u64,
+    algo_for: impl Fn(u64) -> Box<dyn Algorithm>,
+    adversary_for: impl Fn(u64) -> Box<dyn Adversary>,
+) -> Stats {
+    assert!(seeds > 0, "need at least one seed");
+    let mut total_work = 0u64;
+    let mut max_work = 0u64;
+    let mut total_msgs = 0u64;
+    for seed in 0..seeds {
+        let report = run_once(instance, &*algo_for(seed), adversary_for(seed));
+        total_work += report.work;
+        max_work = max_work.max(report.work);
+        total_msgs += report.messages;
+    }
+    Stats {
+        mean_work: total_work as f64 / seeds as f64,
+        max_work,
+        mean_messages: total_msgs as f64 / seeds as f64,
+        runs: seeds as usize,
+    }
+}
+
+/// Runs one execution to completion and returns the report.
+///
+/// # Panics
+///
+/// Panics if the run does not complete within the generous tick budget.
+#[must_use]
+pub fn run_once(
+    instance: Instance,
+    algo: &dyn Algorithm,
+    adversary: Box<dyn Adversary>,
+) -> RunReport {
+    let report = Simulation::new(instance, algo.spawn(instance), adversary)
+        .max_ticks(50_000_000)
+        .run();
+    assert!(
+        report.completed,
+        "{} failed to complete on p={} t={}: {report}",
+        algo.name(),
+        instance.processors(),
+        instance.tasks()
+    );
+    report
+}
+
+/// The standard roster used by the sweep experiments.
+#[must_use]
+pub fn roster(instance: Instance, seed: u64) -> Vec<Box<dyn Algorithm>> {
+    vec![
+        Box::new(SoloAll::new()),
+        Box::new(Da::with_default_schedules(2, seed)),
+        Box::new(Da::with_default_schedules(3, seed)),
+        Box::new(PaRan1::new(seed)),
+        Box::new(PaRan2::new(seed)),
+        Box::new(PaDet::random_for(instance, seed)),
+    ]
+}
+
+/// Prints an experiment header in the format EXPERIMENTS.md collates.
+pub fn section(id: &str, reproduces: &str, setup: &str) {
+    println!("\n## {id} — {reproduces}\n");
+    println!("{setup}\n");
+}
+
+/// Formats a float compactly for table cells.
+#[must_use]
+pub fn fmt(v: f64) -> String {
+    if v >= 1000.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doall_sim::adversary::UnitDelay;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1", "2"]);
+        t.print(); // smoke: must not panic
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.row(vec!["1"]);
+    }
+
+    #[test]
+    fn seed_average_aggregates() {
+        let instance = Instance::new(2, 6).unwrap();
+        let stats = seed_average(
+            instance,
+            3,
+            |s| Box::new(PaRan1::new(s)),
+            |_| Box::new(UnitDelay),
+        );
+        assert_eq!(stats.runs, 3);
+        assert!(stats.mean_work >= 6.0);
+        assert!(stats.max_work as f64 >= stats.mean_work);
+    }
+
+    #[test]
+    fn fmt_scales() {
+        assert_eq!(fmt(0.5), "0.500");
+        assert_eq!(fmt(42.123), "42.1");
+        assert_eq!(fmt(12345.6), "12346");
+    }
+
+    #[test]
+    fn roster_has_six_algorithms() {
+        let instance = Instance::new(4, 8).unwrap();
+        assert_eq!(roster(instance, 0).len(), 6);
+    }
+}

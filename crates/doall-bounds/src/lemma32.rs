@@ -1,0 +1,158 @@
+//! Numeric verification of Lemma 3.2 (Appendix A of the paper), the
+//! binomial inequality underpinning the randomized lower bound:
+//!
+//! ```text
+//! for 1 ≤ d ≤ √u:     1/4 ≤ C(u − d, ⌊u/(d+1)⌋) / C(u, ⌊u/(d+1)⌋)
+//! ```
+//!
+//! **Fidelity note.** The paper's display also asserts `… ≤ 1/e` from
+//! above, but that constant cannot be right as stated: at `u = 16, d = 1`
+//! the ratio is exactly `C(15,8)/C(16,8) = 1/2 > 1/e`. The appendix's own
+//! sandwich proves `ratio ≤ (1 − d/u)^{u/(d+1)} ≤ e^{−d/(d+1)}`, which
+//! approaches `1/e` only as `d → ∞`; the `1/e` in the display looks like
+//! a typo for this quantity. Only the `≥ 1/4` side is ever used (it feeds
+//! the pigeonhole step of Lemma 3.3), so the discrepancy is harmless to
+//! the results. Our tests verify the provable sandwich
+//! `1/4 ≤ ratio ≤ e^{−d/(d+1)}` over a wide grid.
+//!
+//! The ratio is computed in log-space via `ln Γ` to stay finite for large
+//! `u`.
+
+/// Natural log of the Gamma function (Lanczos approximation, g = 7,
+/// n = 9), accurate to ~1e-13 for positive arguments — ample for
+/// verifying inequalities with slack.
+#[must_use]
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_81,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x)Γ(1−x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return pi.ln() - (pi * x).sin().ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEFFS[0];
+    let t = x + 7.5;
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// `ln C(n, k)` via `ln Γ`.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+#[must_use]
+pub fn ln_choose(n: u64, k: u64) -> f64 {
+    assert!(k <= n, "C(n, k) requires k ≤ n");
+    ln_gamma(n as f64 + 1.0) - ln_gamma(k as f64 + 1.0) - ln_gamma((n - k) as f64 + 1.0)
+}
+
+/// The Lemma 3.2 ratio `C(u − d, ⌊u/(d+1)⌋) / C(u, ⌊u/(d+1)⌋)`.
+///
+/// # Panics
+///
+/// Panics unless `1 ≤ d` and `d² ≤ u` (the lemma's hypothesis) and the
+/// binomials are well-formed.
+#[must_use]
+pub fn lemma32_ratio(u: u64, d: u64) -> f64 {
+    assert!(d >= 1, "lemma 3.2 needs d ≥ 1");
+    assert!(d * d <= u, "lemma 3.2 needs d ≤ √u");
+    let k = u / (d + 1);
+    (ln_choose(u - d, k) - ln_choose(u, k)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        // Γ(n+1) = n!
+        let mut fact = 1.0f64;
+        for n in 1..15u32 {
+            fact *= f64::from(n);
+            let lg = ln_gamma(f64::from(n) + 1.0);
+            assert!(
+                (lg - fact.ln()).abs() < 1e-9,
+                "n = {n}: {lg} vs {}",
+                fact.ln()
+            );
+        }
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π.
+        let expect = std::f64::consts::PI.sqrt().ln();
+        assert!((ln_gamma(0.5) - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_choose_small_values() {
+        assert!((ln_choose(5, 2) - 10.0f64.ln()).abs() < 1e-9);
+        assert!((ln_choose(10, 0)).abs() < 1e-9);
+        assert!((ln_choose(10, 10)).abs() < 1e-9);
+        assert!((ln_choose(52, 5) - 2_598_960.0f64.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn lemma32_holds_on_a_grid() {
+        // 1/4 ≤ ratio ≤ e^{−d/(d+1)} for 1 ≤ d ≤ √u, checked over a wide
+        // grid — the ≥ 1/4 side is exactly what Lemma 3.3's pigeonhole
+        // step consumes (see the module docs for why the paper's printed
+        // "≤ 1/e" upper constant is off for small d).
+        for u in [16u64, 64, 100, 1024, 10_000, 1_000_000] {
+            let mut d = 1u64;
+            while d * d <= u {
+                let r = lemma32_ratio(u, d);
+                let upper = (-(d as f64) / (d as f64 + 1.0)).exp();
+                assert!(r >= 0.25, "lower side fails at u={u}, d={d}: {r}");
+                assert!(
+                    r <= upper + 1e-12,
+                    "upper side fails at u={u}, d={d}: {r} vs {upper}"
+                );
+                d = (d * 2).max(d + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma32_paper_constant_counterexample() {
+        // Documents the fidelity note: the printed "≤ 1/e" fails at
+        // u = 16, d = 1, where the ratio is exactly 1/2.
+        let r = lemma32_ratio(16, 1);
+        assert!(
+            (r - 0.5).abs() < 1e-9,
+            "exact value is C(15,8)/C(16,8) = 1/2"
+        );
+        assert!(r > 1.0 / std::f64::consts::E);
+    }
+
+    #[test]
+    fn lemma32_upper_tends_to_one_over_e() {
+        // For large d the provable upper bound e^{−d/(d+1)} approaches
+        // 1/e, recovering the paper's constant asymptotically.
+        let r = lemma32_ratio(1_000_000, 1000);
+        assert!(r > 0.25);
+        assert!(r < 1.0 / std::f64::consts::E + 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "d ≤ √u")]
+    fn hypothesis_enforced() {
+        let _ = lemma32_ratio(10, 4);
+    }
+}

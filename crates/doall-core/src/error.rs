@@ -1,0 +1,66 @@
+//! Error types for instance and algorithm construction.
+
+use core::fmt;
+
+/// Errors raised when constructing Do-All instances or algorithm
+/// configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// An instance must have at least one processor.
+    ZeroProcessors,
+    /// An instance must have at least one task.
+    ZeroTasks,
+    /// A parameter was outside its documented range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl CoreError {
+    /// Convenience constructor for [`CoreError::InvalidParameter`].
+    #[must_use]
+    pub fn invalid(name: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidParameter {
+            name,
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ZeroProcessors => write!(f, "a Do-All instance needs at least one processor"),
+            Self::ZeroTasks => write!(f, "a Do-All instance needs at least one task"),
+            Self::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CoreError::ZeroProcessors.to_string().contains("processor"));
+        assert!(CoreError::ZeroTasks.to_string().contains("task"));
+        let e = CoreError::invalid("q", "must be at least 2");
+        assert!(e.to_string().contains('q'));
+        assert!(e.to_string().contains("at least 2"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: std::error::Error>(_: &E) {}
+        assert_err(&CoreError::ZeroTasks);
+    }
+}

@@ -1,0 +1,99 @@
+//! Strongly-typed identifiers for processors, tasks, and jobs.
+//!
+//! The paper identifies processors by `pid ∈ {0, …, p−1}` and tasks by
+//! identifiers from `[t] = {1, …, t}`. We use zero-based indices throughout
+//! (so `TaskId::new(0)` is the paper's task 1); all arithmetic in the
+//! algorithms is adjusted accordingly.
+
+use core::fmt;
+
+macro_rules! id_newtype {
+    ($(#[$doc:meta])* $name:ident, $letter:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(usize);
+
+        impl $name {
+            /// Creates an identifier from a zero-based index.
+            #[must_use]
+            pub const fn new(index: usize) -> Self {
+                Self(index)
+            }
+
+            /// The zero-based index of this identifier.
+            #[must_use]
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($letter, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($letter, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(id: $name) -> usize {
+                id.0
+            }
+        }
+    };
+}
+
+id_newtype!(
+    /// Identifier of a processor: `pid ∈ {0, …, p−1}`.
+    ProcId,
+    "P"
+);
+
+id_newtype!(
+    /// Identifier of a task (zero-based; the paper's task `z ∈ [t]` is
+    /// `TaskId::new(z − 1)`).
+    TaskId,
+    "T"
+);
+
+id_newtype!(
+    /// Identifier of a *job* — a cluster of `⌈t/p⌉` tasks used when `t > p`
+    /// (Sections 5.1.3 and 6 of the paper).
+    JobId,
+    "J"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        assert_eq!(ProcId::new(7).index(), 7);
+        assert_eq!(TaskId::new(0).index(), 0);
+        assert_eq!(JobId::new(42).index(), 42);
+    }
+
+    #[test]
+    fn display_and_debug_are_prefixed() {
+        assert_eq!(ProcId::new(3).to_string(), "P3");
+        assert_eq!(format!("{:?}", TaskId::new(5)), "T5");
+        assert_eq!(format!("{:?}", JobId::new(1)), "J1");
+    }
+
+    #[test]
+    fn ordering_follows_indices() {
+        assert!(ProcId::new(1) < ProcId::new(2));
+        assert!(TaskId::new(9) > TaskId::new(3));
+    }
+
+    #[test]
+    fn usize_conversion() {
+        let i: usize = TaskId::new(11).into();
+        assert_eq!(i, 11);
+    }
+}

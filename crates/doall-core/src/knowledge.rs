@@ -1,0 +1,138 @@
+//! A processor's knowledge of which tasks are complete.
+
+use crate::{BitSet, TaskId};
+use core::fmt;
+
+/// The set of tasks a processor *knows* to be complete — either because it
+/// performed them itself or because it learned of their completion from a
+/// received message.
+///
+/// `DoneSet` is monotone (knowledge only grows) and merges by union, so it
+/// forms a join-semilattice; this is what makes the replicated state of the
+/// paper's algorithms trivially consistent.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct DoneSet {
+    bits: BitSet,
+}
+
+impl DoneSet {
+    /// Creates an empty knowledge set over `tasks` tasks.
+    #[must_use]
+    pub fn new(tasks: usize) -> Self {
+        Self {
+            bits: BitSet::new(tasks),
+        }
+    }
+
+    /// Total number of tasks in the instance.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Number of tasks known complete.
+    #[must_use]
+    pub fn known_done(&self) -> usize {
+        self.bits.count()
+    }
+
+    /// Whether every task is known complete — the local halting condition of
+    /// the PA algorithms and the definition of a processor being "informed"
+    /// for the σ cutoff of Definition 2.1.
+    #[must_use]
+    pub fn all_done(&self) -> bool {
+        self.bits.is_full()
+    }
+
+    /// Whether `task` is known complete.
+    #[must_use]
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.bits.contains(task.index())
+    }
+
+    /// Records that `task` is complete; returns `true` if this was news.
+    pub fn record(&mut self, task: TaskId) -> bool {
+        self.bits.insert(task.index())
+    }
+
+    /// Merges another processor's knowledge into this one; returns `true`
+    /// if anything new was learned.
+    pub fn merge(&mut self, other: &DoneSet) -> bool {
+        self.bits.union_with(&other.bits)
+    }
+
+    /// Iterator over tasks *not* known complete, in increasing index order.
+    pub fn unknown(&self) -> impl Iterator<Item = TaskId> + '_ {
+        self.bits.iter_zeros().map(TaskId::new)
+    }
+
+    /// Borrow of the underlying bitset (e.g. to put on the wire).
+    #[must_use]
+    pub fn as_bits(&self) -> &BitSet {
+        &self.bits
+    }
+
+    /// Wraps an existing bitset as a knowledge set.
+    #[must_use]
+    pub fn from_bits(bits: BitSet) -> Self {
+        Self { bits }
+    }
+}
+
+impl fmt::Debug for DoneSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DoneSet({}/{})", self.known_done(), self.task_count())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_knows_nothing() {
+        let d = DoneSet::new(5);
+        assert_eq!(d.known_done(), 0);
+        assert!(!d.all_done());
+        assert_eq!(d.unknown().count(), 5);
+    }
+
+    #[test]
+    fn record_and_contains() {
+        let mut d = DoneSet::new(5);
+        assert!(d.record(TaskId::new(2)));
+        assert!(!d.record(TaskId::new(2)));
+        assert!(d.contains(TaskId::new(2)));
+        assert!(!d.contains(TaskId::new(3)));
+    }
+
+    #[test]
+    fn merge_is_union() {
+        let mut a = DoneSet::new(4);
+        let mut b = DoneSet::new(4);
+        a.record(TaskId::new(0));
+        b.record(TaskId::new(3));
+        assert!(a.merge(&b));
+        assert!(a.contains(TaskId::new(0)));
+        assert!(a.contains(TaskId::new(3)));
+        assert!(!a.merge(&b), "merge is idempotent");
+    }
+
+    #[test]
+    fn all_done_when_full() {
+        let mut d = DoneSet::new(3);
+        for i in 0..3 {
+            d.record(TaskId::new(i));
+        }
+        assert!(d.all_done());
+        assert_eq!(d.unknown().count(), 0);
+    }
+
+    #[test]
+    fn bits_roundtrip() {
+        let mut d = DoneSet::new(8);
+        d.record(TaskId::new(7));
+        let d2 = DoneSet::from_bits(d.as_bits().clone());
+        assert_eq!(d, d2);
+    }
+}

@@ -1,0 +1,59 @@
+//! The message envelope carried by the network.
+//!
+//! Every algorithm in the paper communicates exactly one kind of payload: a
+//! monotone bitmap of progress information. For the PA family the bits index
+//! tasks (a [`crate::DoneSet`]); for DA they index the nodes of the
+//! replicated q-ary progress tree. Receivers merge payloads into local state
+//! by bitwise OR.
+
+use crate::{BitSet, ProcId};
+
+/// A point-to-point message. Broadcasts are modelled as `p − 1`
+/// point-to-point messages, exactly as in the paper's message-complexity
+/// accounting (Definition 2.2).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    from: ProcId,
+    bits: BitSet,
+}
+
+impl Message {
+    /// Creates a message from `from` carrying progress bitmap `bits`.
+    #[must_use]
+    pub fn new(from: ProcId, bits: BitSet) -> Self {
+        Self { from, bits }
+    }
+
+    /// The sender.
+    #[must_use]
+    pub fn from(&self) -> ProcId {
+        self.from
+    }
+
+    /// The progress bitmap carried by the message.
+    #[must_use]
+    pub fn bits(&self) -> &BitSet {
+        &self.bits
+    }
+
+    /// Consumes the message, yielding its payload.
+    #[must_use]
+    pub fn into_bits(self) -> BitSet {
+        self.bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let mut b = BitSet::new(4);
+        b.insert(1);
+        let m = Message::new(ProcId::new(2), b.clone());
+        assert_eq!(m.from(), ProcId::new(2));
+        assert_eq!(m.bits(), &b);
+        assert_eq!(m.into_bits(), b);
+    }
+}

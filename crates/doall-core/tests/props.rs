@@ -1,0 +1,118 @@
+//! Property-based tests for the core data structures.
+
+use doall_core::{BitSet, DoneSet, Instance, JobId, JobMap, TaskId};
+use proptest::prelude::*;
+
+fn bitset_from(len: usize, ones: &[usize]) -> BitSet {
+    let mut b = BitSet::new(len);
+    for &i in ones {
+        if i < len {
+            b.insert(i);
+        }
+    }
+    b
+}
+
+proptest! {
+    /// Union is a lattice join: commutative, associative, idempotent, and
+    /// monotone (the result is a superset of both operands).
+    #[test]
+    fn bitset_union_is_join(
+        len in 1usize..300,
+        xs in prop::collection::vec(0usize..300, 0..40),
+        ys in prop::collection::vec(0usize..300, 0..40),
+    ) {
+        let a = bitset_from(len, &xs);
+        let b = bitset_from(len, &ys);
+
+        let mut ab = a.clone();
+        ab.union_with(&b);
+        let mut ba = b.clone();
+        ba.union_with(&a);
+        prop_assert_eq!(&ab, &ba, "commutative");
+
+        prop_assert!(ab.is_superset(&a));
+        prop_assert!(ab.is_superset(&b));
+
+        let mut idem = ab.clone();
+        prop_assert!(!idem.union_with(&b), "idempotent: no new bits");
+        prop_assert_eq!(&idem, &ab);
+    }
+
+    /// Cached popcount always agrees with a recount via the iterator.
+    #[test]
+    fn bitset_count_matches_iter(
+        len in 1usize..300,
+        xs in prop::collection::vec(0usize..300, 0..60),
+    ) {
+        let b = bitset_from(len, &xs);
+        prop_assert_eq!(b.count(), b.iter_ones().count());
+        prop_assert_eq!(b.len() - b.count(), b.iter_zeros().count());
+    }
+
+    /// iter_ones and iter_zeros partition the index range.
+    #[test]
+    fn bitset_iters_partition(
+        len in 1usize..200,
+        xs in prop::collection::vec(0usize..200, 0..50),
+    ) {
+        let b = bitset_from(len, &xs);
+        let mut all: Vec<usize> = b.iter_ones().chain(b.iter_zeros()).collect();
+        all.sort_unstable();
+        let expect: Vec<usize> = (0..len).collect();
+        prop_assert_eq!(all, expect);
+    }
+
+    /// JobMap: jobs are nonempty, contiguous, cover all tasks, sizes differ
+    /// by at most one, and job_of inverts tasks_of.
+    #[test]
+    fn job_map_partition_laws(t in 1usize..500, n in 1usize..64) {
+        let jm = JobMap::new(t, n);
+        prop_assert_eq!(jm.job_count(), n.min(t));
+        let mut next = 0usize;
+        let mut min_size = usize::MAX;
+        let mut max_size = 0usize;
+        for j in 0..jm.job_count() {
+            let r = jm.tasks_of(JobId::new(j));
+            prop_assert_eq!(r.start, next);
+            prop_assert!(!r.is_empty());
+            min_size = min_size.min(r.len());
+            max_size = max_size.max(r.len());
+            for task in r.clone() {
+                prop_assert_eq!(jm.job_of(TaskId::new(task)), JobId::new(j));
+            }
+            next = r.end;
+        }
+        prop_assert_eq!(next, t, "jobs cover all tasks");
+        prop_assert!(max_size - min_size <= 1, "near-equal sizes");
+        prop_assert_eq!(max_size, jm.max_job_size());
+    }
+
+    /// DoneSet merge only ever grows knowledge and all_done is exactly
+    /// "known_done == task_count".
+    #[test]
+    fn done_set_monotone(
+        t in 1usize..200,
+        xs in prop::collection::vec(0usize..200, 0..50),
+        ys in prop::collection::vec(0usize..200, 0..50),
+    ) {
+        let mut a = DoneSet::new(t);
+        for &x in &xs { if x < t { a.record(TaskId::new(x)); } }
+        let mut b = DoneSet::new(t);
+        for &y in &ys { if y < t { b.record(TaskId::new(y)); } }
+        let before = a.known_done();
+        a.merge(&b);
+        prop_assert!(a.known_done() >= before);
+        prop_assert!(a.known_done() >= b.known_done().min(t));
+        prop_assert_eq!(a.all_done(), a.known_done() == t);
+    }
+
+    /// Instance units is min(p, t) and the job map is consistent with it.
+    #[test]
+    fn instance_units(p in 1usize..100, t in 1usize..1000) {
+        let inst = Instance::new(p, t).unwrap();
+        prop_assert_eq!(inst.units(), p.min(t));
+        prop_assert_eq!(inst.job_map().job_count(), p.min(t));
+        prop_assert_eq!(inst.job_map().task_count(), t);
+    }
+}

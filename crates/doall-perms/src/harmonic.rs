@@ -1,0 +1,43 @@
+//! Harmonic numbers, used by the Lemma 4.1 bound `Cont(Σ) ≤ 3nH_n`.
+
+/// The `n`-th harmonic number `H_n = Σ_{j=1}^{n} 1/j`, with `H_0 = 0`.
+///
+/// Computed by direct summation from the small end for accuracy; the values
+/// used in this workspace are tiny (`n ≤ 10⁶`), so no asymptotic expansion
+/// is needed.
+#[must_use]
+pub fn harmonic(n: usize) -> f64 {
+    (1..=n).rev().map(|j| 1.0 / j as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values() {
+        assert_eq!(harmonic(0), 0.0);
+        assert!((harmonic(1) - 1.0).abs() < 1e-15);
+        assert!((harmonic(2) - 1.5).abs() < 1e-15);
+        assert!((harmonic(4) - (1.0 + 0.5 + 1.0 / 3.0 + 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn close_to_ln_plus_gamma() {
+        // H_n ≈ ln n + γ for large n.
+        const GAMMA: f64 = 0.577_215_664_901_532_9;
+        let n = 100_000;
+        let approx = (n as f64).ln() + GAMMA;
+        assert!((harmonic(n) - approx).abs() < 1e-4);
+    }
+
+    #[test]
+    fn strictly_increasing() {
+        let mut prev = 0.0;
+        for n in 1..100 {
+            let h = harmonic(n);
+            assert!(h > prev);
+            prev = h;
+        }
+    }
+}

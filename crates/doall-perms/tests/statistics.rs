@@ -1,0 +1,73 @@
+//! Statistical sanity checks tying the combinatorics to known
+//! distributional facts.
+
+use doall_perms::{d_lrm, harmonic, lrm, Permutation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The expected number of left-to-right maxima of a uniform random
+/// permutation is exactly `H_n` (Knuth vol. 3): position `i` (1-based
+/// from the end of the prefix) is a record with probability `1/i`.
+#[test]
+fn expected_lrm_is_harmonic() {
+    let n = 64;
+    let samples = 4000;
+    let mut rng = StdRng::seed_from_u64(12345);
+    let mut total = 0usize;
+    for _ in 0..samples {
+        total += lrm(&Permutation::random(n, &mut rng));
+    }
+    let mean = total as f64 / samples as f64;
+    let expect = harmonic(n);
+    // Var[lrm] = H_n − H_n^(2) < H_n ≈ 4.74; the sample mean's standard
+    // error is ≈ √(4.74/4000) ≈ 0.034 — a ±5σ band is ±0.17.
+    assert!(
+        (mean - expect).abs() < 0.2,
+        "sample mean {mean} vs H_{n} = {expect}"
+    );
+}
+
+/// The expected number of d-lrm's of a uniform random permutation is
+/// `Σ_i min(d/i, 1) = d + d·(H_n − H_d)` (the claim inside Lemma 4.3:
+/// position i from the end is a d-record with probability min(d/i, 1)).
+#[test]
+fn expected_d_lrm_matches_lemma_4_3_claim() {
+    let n = 48;
+    let samples = 4000;
+    for d in [2usize, 5, 12] {
+        let mut rng = StdRng::seed_from_u64(999 + d as u64);
+        let mut total = 0usize;
+        for _ in 0..samples {
+            total += d_lrm(&Permutation::random(n, &mut rng), d);
+        }
+        let mean = total as f64 / samples as f64;
+        let expect = d as f64 + d as f64 * (harmonic(n) - harmonic(d));
+        assert!(
+            (mean - expect).abs() < 0.35,
+            "d={d}: sample mean {mean} vs d(1 + H_n − H_d) = {expect}"
+        );
+    }
+}
+
+/// Records accumulate: a random permutation's lrm count is 1 with
+/// probability exactly 1/n only when the maximum comes first; check the
+/// frequency of that event as a distribution smoke test.
+#[test]
+fn max_first_frequency_is_one_over_n() {
+    let n = 16;
+    let samples = 20_000;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut max_first = 0usize;
+    for _ in 0..samples {
+        let p = Permutation::random(n, &mut rng);
+        if p.apply(0) == n - 1 {
+            max_first += 1;
+        }
+    }
+    let freq = max_first as f64 / samples as f64;
+    let expect = 1.0 / n as f64; // 0.0625
+    assert!(
+        (freq - expect).abs() < 0.01,
+        "frequency {freq} vs 1/n = {expect}"
+    );
+}

@@ -1,0 +1,438 @@
+//! Real-concurrency runner: executes the same Do-All state machines that
+//! the discrete-event simulator drives, but on OS threads connected by
+//! `crossbeam` channels, with a router thread injecting per-message
+//! delays.
+//!
+//! Purpose (DESIGN.md §2): the algorithms are pure state machines, so they
+//! must behave correctly on *any* substrate that provides reliable,
+//! possibly-delayed message delivery. This crate validates that claim
+//! under genuine parallelism — preemption, cache effects, real race
+//! timings — none of which the algorithms may rely on or be broken by.
+//!
+//! Complexity *measurement* stays in the simulator (wall-clock
+//! nondeterminism makes exact step accounting meaningless here); this
+//! runner reports the same [`RunReport`] shape with best-effort counts, and
+//! its `completed` flag is checked against ground truth collected from the
+//! actual task executions.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use doall_core::{BitSet, DoAllProcess, Instance, Message, ProcId, RunReport, TaskId};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Configuration of a threaded run.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Maximum injected message delay. Each point-to-point message is held
+    /// by the router for a uniformly random duration up to this bound —
+    /// the wall-clock analogue of the d-adversary.
+    pub max_delay: Duration,
+    /// RNG seed for the delay draws.
+    pub seed: u64,
+    /// Wall-clock cutoff after which the run is abandoned
+    /// (`completed == false`).
+    pub timeout: Duration,
+    /// Optional per-processor step budgets: processor `i` stops stepping
+    /// after `crash_after_steps[i]` steps (`None` = never). At least one
+    /// processor must be uncrashed; this is the crash-failure model.
+    pub crash_after_steps: Vec<Option<u64>>,
+    /// Pause between consecutive local steps of each worker. Zero (the
+    /// default) lets threads run at full speed — a fast worker may then
+    /// finish before its peers are even scheduled, which is legal
+    /// asynchrony but makes demonstrations one-sided; a small pace (tens
+    /// of microseconds) produces genuinely interleaved executions.
+    pub step_interval: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            max_delay: Duration::from_micros(500),
+            seed: 0,
+            timeout: Duration::from_secs(10),
+            crash_after_steps: Vec::new(),
+            step_interval: Duration::ZERO,
+        }
+    }
+}
+
+/// Routed envelope: a broadcast fanned out into point-to-point messages.
+struct Outgoing {
+    to: usize,
+    msg: Message,
+}
+
+/// Delayed message held by the router.
+struct Held {
+    due: Instant,
+    to: usize,
+    msg: Message,
+}
+
+impl PartialEq for Held {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due
+    }
+}
+impl Eq for Held {}
+impl PartialOrd for Held {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Held {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Min-heap on due time.
+        other.due.cmp(&self.due)
+    }
+}
+
+/// The body of an idempotent task: executed by whichever worker thread
+/// performs it (possibly several times, possibly concurrently — the
+/// Do-All contract). Must be idempotent and thread-safe.
+pub type TaskBody = dyn Fn(TaskId) + Send + Sync;
+
+/// Runs `procs` on OS threads with a no-op task body — bookkeeping only.
+/// See [`run_threaded_with_tasks`] to execute real work per task.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_threaded_with_tasks`].
+#[must_use]
+pub fn run_threaded(
+    instance: Instance,
+    procs: Vec<Box<dyn DoAllProcess>>,
+    config: &RuntimeConfig,
+) -> RunReport {
+    run_threaded_with_tasks(instance, procs, config, Arc::new(|_| {}))
+}
+
+/// Runs `procs` (one per processor of `instance`) on OS threads until some
+/// processor knows all tasks are done, a crash budget stops everyone, or
+/// the timeout fires. Each time a state machine performs task `z`, the
+/// worker thread first executes `body(z)` — the actual (idempotent) work
+/// unit, the paper's abstraction made concrete.
+///
+/// Returns a [`RunReport`] whose `work` / `messages` are the actual step
+/// and point-to-point message counts (nondeterministic across runs —
+/// schedule-dependent, as real executions are), whose `sigma` is the
+/// elapsed wall-clock in microseconds at completion, and whose
+/// `completed` is checked against the ground truth of performed tasks.
+///
+/// # Panics
+///
+/// Panics if `procs.len() != instance.processors()`, or if
+/// `crash_after_steps` (when nonempty) has the wrong length or crashes
+/// everyone.
+#[must_use]
+pub fn run_threaded_with_tasks(
+    instance: Instance,
+    procs: Vec<Box<dyn DoAllProcess>>,
+    config: &RuntimeConfig,
+    body: Arc<TaskBody>,
+) -> RunReport {
+    let p = instance.processors();
+    let t = instance.tasks();
+    assert_eq!(
+        procs.len(),
+        p,
+        "need exactly one state machine per processor"
+    );
+    if !config.crash_after_steps.is_empty() {
+        assert_eq!(
+            config.crash_after_steps.len(),
+            p,
+            "crash budget list must cover every processor"
+        );
+        assert!(
+            config.crash_after_steps.iter().any(Option::is_none),
+            "at least one processor must survive"
+        );
+    }
+
+    let done = Arc::new(AtomicBool::new(false));
+    let deadline = Instant::now() + config.timeout;
+    let start = Instant::now();
+    let ground_truth = Arc::new(Mutex::new(BitSet::new(t)));
+
+    // Per-processor delivery channels and the shared router channel.
+    let (to_router, router_rx) = unbounded::<Outgoing>();
+    let mut inbox_tx: Vec<Sender<Message>> = Vec::with_capacity(p);
+    let mut inbox_rx: Vec<Option<Receiver<Message>>> = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (tx, rx) = unbounded::<Message>();
+        inbox_tx.push(tx);
+        inbox_rx.push(Some(rx));
+    }
+
+    // Router: holds messages for their injected delay, then forwards.
+    let router = {
+        let done = Arc::clone(&done);
+        let inbox_tx = inbox_tx.clone();
+        let max_delay = config.max_delay;
+        let seed = config.seed;
+        std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut held: BinaryHeap<Held> = BinaryHeap::new();
+            loop {
+                // Forward everything due.
+                let now = Instant::now();
+                while held.peek().is_some_and(|h| h.due <= now) {
+                    let h = held.pop().expect("peeked");
+                    let _ = inbox_tx[h.to].send(h.msg);
+                }
+                if done.load(Ordering::Acquire) {
+                    // Drain: deliver the backlog immediately so laggards
+                    // can still learn completion, then exit.
+                    while let Some(h) = held.pop() {
+                        let _ = inbox_tx[h.to].send(h.msg);
+                    }
+                    while let Ok(out) = router_rx.try_recv() {
+                        let _ = inbox_tx[out.to].send(out.msg);
+                    }
+                    break;
+                }
+                let wait = held
+                    .peek()
+                    .map_or(Duration::from_millis(1), |h| {
+                        h.due.saturating_duration_since(Instant::now())
+                    })
+                    .min(Duration::from_millis(1));
+                match router_rx.recv_timeout(wait) {
+                    Ok(out) => {
+                        let delay = if max_delay.is_zero() {
+                            Duration::ZERO
+                        } else {
+                            max_delay.mul_f64(rng.random::<f64>())
+                        };
+                        held.push(Held {
+                            due: Instant::now() + delay,
+                            to: out.to,
+                            msg: out.msg,
+                        });
+                    }
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => break,
+                }
+            }
+        })
+    };
+
+    // Worker threads.
+    let mut workers = Vec::with_capacity(p);
+    for (pid, mut proc_) in procs.into_iter().enumerate() {
+        let rx = inbox_rx[pid].take().expect("one receiver per processor");
+        let done = Arc::clone(&done);
+        let truth = Arc::clone(&ground_truth);
+        let to_router = to_router.clone();
+        let budget = config.crash_after_steps.get(pid).copied().unwrap_or(None);
+        let pace = config.step_interval;
+        let body = Arc::clone(&body);
+        workers.push(std::thread::spawn(move || {
+            let mut steps: u64 = 0;
+            let mut sent: u64 = 0;
+            let mut inbox: Vec<Message> = Vec::new();
+            while !done.load(Ordering::Acquire) && Instant::now() < deadline {
+                if budget.is_some_and(|b| steps >= b) {
+                    // Crashed: stop stepping (messages keep queueing,
+                    // exactly like an infinitely delayed processor).
+                    std::thread::sleep(Duration::from_millis(1));
+                    continue;
+                }
+                inbox.clear();
+                while let Ok(m) = rx.try_recv() {
+                    inbox.push(m);
+                }
+                let outcome = proc_.step(&inbox);
+                steps += 1;
+                if let Some(task) = outcome.performed {
+                    body(task);
+                    truth.lock().insert(task.index());
+                }
+                if let Some(bits) = outcome.broadcast {
+                    let recipients: Vec<usize> = match outcome.targets {
+                        Some(targets) => targets
+                            .into_iter()
+                            .map(ProcId::index)
+                            .filter(|&to| to != pid && to < p)
+                            .collect(),
+                        None => (0..p).filter(|&to| to != pid).collect(),
+                    };
+                    for to in recipients {
+                        sent += 1;
+                        let _ = to_router.send(Outgoing {
+                            to,
+                            msg: Message::new(ProcId::new(pid), bits.clone()),
+                        });
+                    }
+                }
+                if proc_.knows_all_done() {
+                    done.store(true, Ordering::Release);
+                    break;
+                }
+                if !pace.is_zero() {
+                    std::thread::sleep(pace);
+                }
+            }
+            (steps, sent)
+        }));
+    }
+    drop(to_router);
+
+    let mut work = 0u64;
+    let mut messages = 0u64;
+    let mut per_proc = Vec::with_capacity(p);
+    for w in workers {
+        let (steps, sent) = w.join().expect("worker panicked");
+        work += steps;
+        messages += sent;
+        per_proc.push(steps);
+    }
+    router.join().expect("router panicked");
+
+    let all_done = ground_truth.lock().is_full();
+    let informed = done.load(Ordering::Acquire);
+    RunReport {
+        work,
+        messages,
+        sigma: (informed && all_done)
+            .then(|| u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)),
+        completed: informed && all_done,
+        work_per_processor: per_proc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doall_core::{StepOutcome, TaskId};
+
+    /// Deterministic sweep used to smoke-test the plumbing without
+    /// depending on the algorithms crate (those tests live in /tests).
+    #[derive(Clone)]
+    struct Sweep {
+        pid: ProcId,
+        next: usize,
+        t: usize,
+    }
+
+    impl DoAllProcess for Sweep {
+        fn pid(&self) -> ProcId {
+            self.pid
+        }
+        fn step(&mut self, _inbox: &[Message]) -> StepOutcome {
+            if self.next < self.t {
+                self.next += 1;
+                StepOutcome::perform(TaskId::new(self.next - 1))
+            } else {
+                StepOutcome::internal()
+            }
+        }
+        fn knows_all_done(&self) -> bool {
+            self.next >= self.t
+        }
+        fn clone_box(&self) -> Box<dyn DoAllProcess> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn sweeps(p: usize, t: usize) -> Vec<Box<dyn DoAllProcess>> {
+        (0..p)
+            .map(|i| {
+                Box::new(Sweep {
+                    pid: ProcId::new(i),
+                    next: 0,
+                    t,
+                }) as Box<dyn DoAllProcess>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solo_sweep_completes() {
+        let instance = Instance::new(1, 50).unwrap();
+        let report = run_threaded(instance, sweeps(1, 50), &RuntimeConfig::default());
+        assert!(report.completed);
+        assert!(report.work >= 50);
+        assert_eq!(report.messages, 0);
+    }
+
+    #[test]
+    fn parallel_sweeps_complete() {
+        let instance = Instance::new(4, 30).unwrap();
+        let report = run_threaded(instance, sweeps(4, 30), &RuntimeConfig::default());
+        assert!(report.completed);
+        assert!(report.work >= 30);
+        assert_eq!(report.work_per_processor.len(), 4);
+    }
+
+    #[test]
+    fn task_body_runs_for_every_performance() {
+        use std::sync::atomic::AtomicU64;
+        let instance = Instance::new(2, 20).unwrap();
+        let counter = Arc::new(AtomicU64::new(0));
+        let body = {
+            let counter = Arc::clone(&counter);
+            Arc::new(move |_task: TaskId| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let report =
+            run_threaded_with_tasks(instance, sweeps(2, 20), &RuntimeConfig::default(), body);
+        assert!(report.completed);
+        // Every performing step ran the body; sweeps perform once per step
+        // until their own completion.
+        assert!(counter.load(Ordering::Relaxed) >= 20);
+        assert!(counter.load(Ordering::Relaxed) <= report.work);
+    }
+
+    #[test]
+    fn timeout_reports_incomplete() {
+        /// Never finishes.
+        #[derive(Clone)]
+        struct Idler;
+        impl DoAllProcess for Idler {
+            fn pid(&self) -> ProcId {
+                ProcId::new(0)
+            }
+            fn step(&mut self, _inbox: &[Message]) -> StepOutcome {
+                std::thread::sleep(Duration::from_millis(1));
+                StepOutcome::internal()
+            }
+            fn knows_all_done(&self) -> bool {
+                false
+            }
+            fn clone_box(&self) -> Box<dyn DoAllProcess> {
+                Box::new(Idler)
+            }
+        }
+        let instance = Instance::new(1, 1).unwrap();
+        let config = RuntimeConfig {
+            timeout: Duration::from_millis(50),
+            ..Default::default()
+        };
+        let report = run_threaded(instance, vec![Box::new(Idler)], &config);
+        assert!(!report.completed);
+        assert_eq!(report.sigma, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor must survive")]
+    fn crashing_everyone_is_rejected() {
+        let instance = Instance::new(2, 2).unwrap();
+        let config = RuntimeConfig {
+            crash_after_steps: vec![Some(1), Some(1)],
+            ..Default::default()
+        };
+        let _ = run_threaded(instance, sweeps(2, 2), &config);
+    }
+}

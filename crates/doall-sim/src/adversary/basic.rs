@@ -1,0 +1,217 @@
+//! Delay-only adversaries: every processor steps every time unit; only
+//! message delays vary.
+
+use super::Adversary;
+use crate::SimView;
+use doall_core::ProcId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The most benign adversary: every message is delivered at the next time
+/// unit (delay 1) and every processor steps every unit. This is the `d = 1`
+/// baseline of the delay sweeps.
+#[derive(Debug, Clone, Default)]
+pub struct UnitDelay;
+
+impl Adversary for UnitDelay {
+    fn name(&self) -> &str {
+        "unit-delay"
+    }
+}
+
+/// A d-adversary that always uses the full allowance: every message is
+/// delayed exactly `d` units.
+///
+/// This is the worst *oblivious* delay pattern and the one under which the
+/// upper-bound theorems are exercised in the experiments.
+#[derive(Debug, Clone)]
+pub struct FixedDelay {
+    d: u64,
+}
+
+impl FixedDelay {
+    /// Creates the adversary with maximum delay `d ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` (the paper's `d` is a positive integer; delay 1
+    /// means "delivered at the next time unit").
+    #[must_use]
+    pub fn new(d: u64) -> Self {
+        assert!(d >= 1, "message delay bound must be at least 1");
+        Self { d }
+    }
+
+    /// The delay bound `d`.
+    #[must_use]
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+}
+
+impl Adversary for FixedDelay {
+    fn name(&self) -> &str {
+        "fixed-delay"
+    }
+
+    fn message_delay(&mut self, _view: &SimView<'_>, _from: ProcId, _to: ProcId) -> u64 {
+        self.d
+    }
+}
+
+/// A d-adversary drawing each message delay independently and uniformly
+/// from `1..=d` — the "random network latency" model used in examples and
+/// expected-work experiments.
+#[derive(Debug)]
+pub struct RandomDelay {
+    d: u64,
+    rng: StdRng,
+}
+
+impl RandomDelay {
+    /// Creates the adversary with delay bound `d ≥ 1` and an RNG seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: u64, seed: u64) -> Self {
+        assert!(d >= 1, "message delay bound must be at least 1");
+        Self {
+            d,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for RandomDelay {
+    fn name(&self) -> &str {
+        "random-delay"
+    }
+
+    fn message_delay(&mut self, _view: &SimView<'_>, _from: ProcId, _to: ProcId) -> u64 {
+        self.rng.random_range(1..=self.d)
+    }
+}
+
+/// The canonical adversary of the lower-bound proofs: time is partitioned
+/// into stages of length `d`, and every message submitted during a stage is
+/// delivered exactly at the stage boundary (so nothing sent within a stage
+/// is seen inside it). Delay is always `≤ d`.
+#[derive(Debug, Clone)]
+pub struct StageAligned {
+    d: u64,
+}
+
+impl StageAligned {
+    /// Creates the adversary with stage length `d ≥ 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    #[must_use]
+    pub fn new(d: u64) -> Self {
+        assert!(d >= 1, "stage length must be at least 1");
+        Self { d }
+    }
+
+    /// The stage length `d`.
+    #[must_use]
+    pub fn d(&self) -> u64 {
+        self.d
+    }
+
+    /// The first tick of the stage after the one containing `now`.
+    #[must_use]
+    pub fn next_boundary(&self, now: u64) -> u64 {
+        (now / self.d + 1) * self.d
+    }
+}
+
+impl Adversary for StageAligned {
+    fn name(&self) -> &str {
+        "stage-aligned"
+    }
+
+    fn message_delay(&mut self, view: &SimView<'_>, _from: ProcId, _to: ProcId) -> u64 {
+        self.next_boundary(view.now) - view.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doall_core::BitSet;
+
+    fn view(now: u64, done: &BitSet) -> SimView<'_> {
+        SimView {
+            now,
+            processors: 2,
+            tasks: done.len(),
+            tasks_done: done,
+        }
+    }
+
+    #[test]
+    fn fixed_delay_constant() {
+        let done = BitSet::new(1);
+        let mut a = FixedDelay::new(7);
+        assert_eq!(a.d(), 7);
+        for now in 0..5 {
+            assert_eq!(
+                a.message_delay(&view(now, &done), ProcId::new(0), ProcId::new(1)),
+                7
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_delay_rejected() {
+        let _ = FixedDelay::new(0);
+    }
+
+    #[test]
+    fn random_delay_within_bound_and_seeded() {
+        let done = BitSet::new(1);
+        let mut a = RandomDelay::new(5, 3);
+        let mut b = RandomDelay::new(5, 3);
+        for now in 0..100 {
+            let da = a.message_delay(&view(now, &done), ProcId::new(0), ProcId::new(1));
+            let db = b.message_delay(&view(now, &done), ProcId::new(0), ProcId::new(1));
+            assert!((1..=5).contains(&da));
+            assert_eq!(da, db, "same seed, same stream");
+        }
+    }
+
+    #[test]
+    fn stage_aligned_delivers_at_boundary() {
+        let done = BitSet::new(1);
+        let mut a = StageAligned::new(4);
+        // now=0 → boundary 4 (delay 4); now=3 → boundary 4 (delay 1);
+        // now=4 → boundary 8 (delay 4).
+        assert_eq!(
+            a.message_delay(&view(0, &done), ProcId::new(0), ProcId::new(1)),
+            4
+        );
+        assert_eq!(
+            a.message_delay(&view(3, &done), ProcId::new(0), ProcId::new(1)),
+            1
+        );
+        assert_eq!(
+            a.message_delay(&view(4, &done), ProcId::new(0), ProcId::new(1)),
+            4
+        );
+        assert_eq!(a.next_boundary(7), 8);
+    }
+
+    #[test]
+    fn stage_delay_never_exceeds_d() {
+        let done = BitSet::new(1);
+        let mut a = StageAligned::new(6);
+        for now in 0..50 {
+            let d = a.message_delay(&view(now, &done), ProcId::new(0), ProcId::new(1));
+            assert!((1..=6).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Time-varying adversaries: bursty network delays and targeted
+//! processor slowdown.
+//!
+//! The d-adversary is only constrained by the *ceiling* `d`; real systems
+//! see latency that oscillates (congestion episodes) and stragglers that
+//! are persistently slow rather than crashed. These adversaries exercise
+//! those patterns; the algorithms must handle them unchanged since they
+//! assume nothing about delay structure.
+
+use super::Adversary;
+use crate::{Mailboxes, SimView};
+use doall_core::{DoAllProcess, ProcId};
+
+/// Delay oscillates between `1` (calm phase) and `d` (congested phase),
+/// switching every `period` time units — a square-wave latency profile
+/// bounded by `d`.
+#[derive(Debug, Clone)]
+pub struct BurstyDelay {
+    d: u64,
+    period: u64,
+}
+
+impl BurstyDelay {
+    /// Creates the adversary: phases of `period` units alternate between
+    /// delay 1 and delay `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0` or `period == 0`.
+    #[must_use]
+    pub fn new(d: u64, period: u64) -> Self {
+        assert!(d >= 1, "message delay bound must be at least 1");
+        assert!(period >= 1, "phase period must be at least 1");
+        Self { d, period }
+    }
+
+    /// Whether global time `now` falls in a congested phase.
+    #[must_use]
+    pub fn congested(&self, now: u64) -> bool {
+        (now / self.period) % 2 == 1
+    }
+}
+
+impl Adversary for BurstyDelay {
+    fn name(&self) -> &str {
+        "bursty-delay"
+    }
+
+    fn message_delay(&mut self, view: &SimView<'_>, _from: ProcId, _to: ProcId) -> u64 {
+        if self.congested(view.now) {
+            self.d
+        } else {
+            1
+        }
+    }
+}
+
+/// A persistent-straggler adversary: a fixed set of processors advances
+/// only once every `slowdown` time units; everyone else runs full speed.
+/// Message delays delegate to an inner adversary.
+///
+/// Unlike a crash, stragglers keep contributing (slowly) — the pattern
+/// that makes "wait for everyone" strategies pathological and
+/// work-stealing ones shine.
+pub struct Stragglers {
+    inner: Box<dyn Adversary>,
+    slow: Vec<bool>,
+    slowdown: u64,
+}
+
+impl std::fmt::Debug for Stragglers {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stragglers")
+            .field("inner", &self.inner.name())
+            .field("slow", &self.slow)
+            .field("slowdown", &self.slowdown)
+            .finish()
+    }
+}
+
+impl Stragglers {
+    /// Creates the adversary: processors with `slow[pid] == true` step
+    /// only when `now % slowdown == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slowdown == 0` or every processor is marked slow with a
+    /// slowdown that would let nobody step on off-beats — at least the
+    /// layout must leave one full-speed processor (mirroring the crash
+    /// restriction, though stragglers do eventually step).
+    #[must_use]
+    pub fn new(inner: Box<dyn Adversary>, slow: Vec<bool>, slowdown: u64) -> Self {
+        assert!(slowdown >= 1, "slowdown factor must be at least 1");
+        assert!(!slow.is_empty(), "need at least one processor");
+        Self {
+            inner,
+            slow,
+            slowdown,
+        }
+    }
+}
+
+impl Adversary for Stragglers {
+    fn name(&self) -> &str {
+        "stragglers"
+    }
+
+    fn schedule(
+        &mut self,
+        view: &SimView<'_>,
+        _procs: &[Box<dyn DoAllProcess>],
+        _mailboxes: &Mailboxes,
+    ) -> Vec<bool> {
+        let on_beat = view.now % self.slowdown == 0;
+        (0..view.processors)
+            .map(|pid| on_beat || !self.slow.get(pid).copied().unwrap_or(false))
+            .collect()
+    }
+
+    fn message_delay(&mut self, view: &SimView<'_>, from: ProcId, to: ProcId) -> u64 {
+        self.inner.message_delay(view, from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::FixedDelay;
+    use doall_core::BitSet;
+
+    #[test]
+    fn bursty_square_wave() {
+        let mut a = BurstyDelay::new(9, 4);
+        let done = BitSet::new(1);
+        let delay_at = |a: &mut BurstyDelay, now| {
+            let view = SimView {
+                now,
+                processors: 2,
+                tasks: 1,
+                tasks_done: &done,
+            };
+            a.message_delay(&view, ProcId::new(0), ProcId::new(1))
+        };
+        // Calm: ticks 0..4; congested: 4..8; calm: 8..12 …
+        for now in 0..4 {
+            assert_eq!(delay_at(&mut a, now), 1, "calm at {now}");
+        }
+        for now in 4..8 {
+            assert_eq!(delay_at(&mut a, now), 9, "congested at {now}");
+        }
+        assert_eq!(delay_at(&mut a, 8), 1);
+        assert!(!a.congested(0) && a.congested(5));
+    }
+
+    #[test]
+    fn stragglers_step_on_beats_only() {
+        let mut a = Stragglers::new(Box::new(FixedDelay::new(2)), vec![true, false, true], 3);
+        let done = BitSet::new(1);
+        let m = Mailboxes::new(3);
+        let plan_at = |a: &mut Stragglers, now| {
+            let view = SimView {
+                now,
+                processors: 3,
+                tasks: 1,
+                tasks_done: &done,
+            };
+            a.schedule(&view, &[], &m)
+        };
+        assert_eq!(plan_at(&mut a, 0), vec![true, true, true], "on-beat");
+        assert_eq!(plan_at(&mut a, 1), vec![false, true, false]);
+        assert_eq!(plan_at(&mut a, 2), vec![false, true, false]);
+        assert_eq!(plan_at(&mut a, 3), vec![true, true, true]);
+    }
+
+    #[test]
+    fn stragglers_delegate_delay() {
+        let mut a = Stragglers::new(Box::new(FixedDelay::new(7)), vec![false], 2);
+        let done = BitSet::new(1);
+        let view = SimView {
+            now: 0,
+            processors: 1,
+            tasks: 1,
+            tasks_done: &done,
+        };
+        assert_eq!(a.message_delay(&view, ProcId::new(0), ProcId::new(0)), 7);
+    }
+}

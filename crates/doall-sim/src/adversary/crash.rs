@@ -1,0 +1,150 @@
+//! Crash failures layered over another adversary.
+
+use super::Adversary;
+use crate::{Mailboxes, SimView};
+use doall_core::{DoAllProcess, ProcId};
+
+/// Crashes processors at scheduled times, delegating everything else to an
+/// inner adversary.
+///
+/// A crash is modelled exactly as the paper does — an infinite delay: a
+/// crashed processor never completes another step. The constructor enforces
+/// the paper's only restriction, that at least one processor never crashes.
+pub struct CrashSchedule {
+    inner: Box<dyn Adversary>,
+    crash_at: Vec<Option<u64>>,
+}
+
+impl std::fmt::Debug for CrashSchedule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CrashSchedule")
+            .field("inner", &self.inner.name())
+            .field("crash_at", &self.crash_at)
+            .finish()
+    }
+}
+
+impl CrashSchedule {
+    /// Wraps `inner` with crash times: `crash_at[i] = Some(τ)` crashes
+    /// processor `i` at global time `τ` (it completes no step at any time
+    /// `≥ τ`), `None` means it never crashes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every entry is `Some` (the paper requires at least one
+    /// non-faulty processor) or if `crash_at` is empty.
+    #[must_use]
+    pub fn new(inner: Box<dyn Adversary>, crash_at: Vec<Option<u64>>) -> Self {
+        assert!(!crash_at.is_empty(), "need at least one processor");
+        assert!(
+            crash_at.iter().any(Option::is_none),
+            "at least one processor must survive (the paper's only fault restriction)"
+        );
+        Self { inner, crash_at }
+    }
+
+    /// Convenience: crash every processor except `survivor` at time `τ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `survivor` is out of range.
+    #[must_use]
+    pub fn all_but_one(
+        inner: Box<dyn Adversary>,
+        processors: usize,
+        survivor: usize,
+        at: u64,
+    ) -> Self {
+        assert!(survivor < processors, "survivor index out of range");
+        let crash_at = (0..processors)
+            .map(|i| if i == survivor { None } else { Some(at) })
+            .collect();
+        Self::new(inner, crash_at)
+    }
+
+    fn alive(&self, pid: usize, now: u64) -> bool {
+        self.crash_at[pid].is_none_or(|at| now < at)
+    }
+}
+
+impl Adversary for CrashSchedule {
+    fn name(&self) -> &str {
+        "crash-schedule"
+    }
+
+    fn schedule(
+        &mut self,
+        view: &SimView<'_>,
+        procs: &[Box<dyn DoAllProcess>],
+        mailboxes: &Mailboxes,
+    ) -> Vec<bool> {
+        let mut plan = self.inner.schedule(view, procs, mailboxes);
+        for (pid, stepping) in plan.iter_mut().enumerate() {
+            if !self.alive(pid, view.now) {
+                *stepping = false;
+            }
+        }
+        plan
+    }
+
+    fn message_delay(&mut self, view: &SimView<'_>, from: ProcId, to: ProcId) -> u64 {
+        self.inner.message_delay(view, from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::FixedDelay;
+    use doall_core::BitSet;
+
+    #[test]
+    fn crashed_processors_stop_stepping() {
+        let mut a = CrashSchedule::new(Box::new(FixedDelay::new(2)), vec![Some(3), None, Some(0)]);
+        let done = BitSet::new(1);
+        let mk = |now| SimView {
+            now,
+            processors: 3,
+            tasks: 1,
+            tasks_done: &done,
+        };
+        let m = Mailboxes::new(3);
+        assert_eq!(a.schedule(&mk(0), &[], &m), vec![true, true, false]);
+        assert_eq!(a.schedule(&mk(2), &[], &m), vec![true, true, false]);
+        assert_eq!(a.schedule(&mk(3), &[], &m), vec![false, true, false]);
+        assert_eq!(a.schedule(&mk(100), &[], &m), vec![false, true, false]);
+    }
+
+    #[test]
+    fn delegates_delay_to_inner() {
+        let mut a = CrashSchedule::new(Box::new(FixedDelay::new(9)), vec![None, Some(1)]);
+        let done = BitSet::new(1);
+        let view = SimView {
+            now: 0,
+            processors: 2,
+            tasks: 1,
+            tasks_done: &done,
+        };
+        assert_eq!(a.message_delay(&view, ProcId::new(0), ProcId::new(1)), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one processor must survive")]
+    fn all_crashed_rejected() {
+        let _ = CrashSchedule::new(Box::new(FixedDelay::new(1)), vec![Some(0), Some(5)]);
+    }
+
+    #[test]
+    fn all_but_one_builder() {
+        let mut a = CrashSchedule::all_but_one(Box::new(FixedDelay::new(1)), 4, 2, 10);
+        let done = BitSet::new(1);
+        let view = SimView {
+            now: 10,
+            processors: 4,
+            tasks: 1,
+            tasks_done: &done,
+        };
+        let m = Mailboxes::new(4);
+        assert_eq!(a.schedule(&view, &[], &m), vec![false, false, true, false]);
+    }
+}

@@ -1,0 +1,93 @@
+//! The adversary interface and the adversary suite.
+//!
+//! The paper's adversary (Section 2.2) is omniscient and adaptive: during
+//! the execution it chooses, per time unit, which processors complete a
+//! local step (arbitrary step delays; crash = infinite delay, with at least
+//! one survivor) and assigns each message a delay of at most `d` units. The
+//! [`Adversary`] trait mirrors those two powers exactly; implementations
+//! receive read access to processor states (and may clone/dry-run them —
+//! this is how the Theorem 3.1 and 3.4 lower-bound adversaries are built)
+//! and to pending mailboxes.
+
+mod basic;
+mod bursty;
+mod crash;
+mod lb_random;
+mod lower_bound;
+mod slow;
+
+pub use basic::{FixedDelay, RandomDelay, StageAligned, UnitDelay};
+pub use bursty::{BurstyDelay, Stragglers};
+pub use crash::CrashSchedule;
+pub use lb_random::RandomizedLbAdversary;
+pub use lower_bound::LowerBoundAdversary;
+pub use slow::{RandomSubset, RoundRobin};
+
+use crate::{Mailboxes, SimView};
+use doall_core::{DoAllProcess, ProcId};
+
+/// An omniscient, adaptive d-adversary.
+///
+/// Both powers default to the benign choice (everyone steps, minimal
+/// delay 1), so simple adversaries override only one method.
+pub trait Adversary: Send {
+    /// Human-readable name used in experiment tables.
+    fn name(&self) -> &str {
+        "adversary"
+    }
+
+    /// Which processors complete a local step at time `view.now`.
+    ///
+    /// `procs` are the live processor states (the adversary may clone and
+    /// dry-run them — the simulator will execute the *real* step on the
+    /// originals afterwards); `mailboxes` hold the in-flight messages, so
+    /// the adversary can see what each processor is about to receive.
+    ///
+    /// Returning `false` for a processor models a delay between its local
+    /// clock ticks; returning `false` forever models a crash. The simulator
+    /// never delivers messages to or charges work for non-stepping
+    /// processors at that tick.
+    fn schedule(
+        &mut self,
+        view: &SimView<'_>,
+        procs: &[Box<dyn DoAllProcess>],
+        mailboxes: &Mailboxes,
+    ) -> Vec<bool> {
+        let _ = (procs, mailboxes);
+        vec![true; view.processors]
+    }
+
+    /// The delay, in global time units (`≥ 1`), of a message submitted at
+    /// `view.now` from `from` to `to`. A *d-adversary* must return values
+    /// `≤ d`; the simulator records the maximum returned value so
+    /// experiment reports can state the effective `d` of the execution.
+    fn message_delay(&mut self, view: &SimView<'_>, from: ProcId, to: ProcId) -> u64 {
+        let _ = (view, from, to);
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doall_core::BitSet;
+
+    struct Defaulted;
+    impl Adversary for Defaulted {}
+
+    #[test]
+    fn default_schedule_steps_everyone() {
+        let done = BitSet::new(3);
+        let view = SimView {
+            now: 0,
+            processors: 4,
+            tasks: 3,
+            tasks_done: &done,
+        };
+        let mut a = Defaulted;
+        let plan = a.schedule(&view, &[], &Mailboxes::new(4));
+        assert_eq!(plan, vec![true; 4]);
+        assert_eq!(a.message_delay(&view, ProcId::new(0), ProcId::new(1)), 1);
+        assert_eq!(a.name(), "adversary");
+    }
+}

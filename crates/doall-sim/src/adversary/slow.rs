@@ -1,0 +1,208 @@
+//! Step-scheduling adversaries: disparate processor speeds.
+
+use super::Adversary;
+use crate::{Mailboxes, SimView};
+use doall_core::{DoAllProcess, ProcId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Only a rotating window of `k` processors steps per time unit — models
+/// `p − k` processors being persistently slow, with the slow set drifting.
+///
+/// Message delays delegate to an inner adversary.
+pub struct RoundRobin {
+    inner: Box<dyn Adversary>,
+    k: usize,
+}
+
+impl std::fmt::Debug for RoundRobin {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RoundRobin")
+            .field("inner", &self.inner.name())
+            .field("k", &self.k)
+            .finish()
+    }
+}
+
+impl RoundRobin {
+    /// At each time unit `τ`, processors `τ·k … τ·k + k − 1 (mod p)` step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    #[must_use]
+    pub fn new(inner: Box<dyn Adversary>, k: usize) -> Self {
+        assert!(k > 0, "at least one processor must step per unit");
+        Self { inner, k }
+    }
+}
+
+impl Adversary for RoundRobin {
+    fn name(&self) -> &str {
+        "round-robin"
+    }
+
+    fn schedule(
+        &mut self,
+        view: &SimView<'_>,
+        _procs: &[Box<dyn DoAllProcess>],
+        _mailboxes: &Mailboxes,
+    ) -> Vec<bool> {
+        let p = view.processors;
+        let k = self.k.min(p);
+        let start = (view.now as usize).wrapping_mul(k) % p;
+        let mut plan = vec![false; p];
+        for off in 0..k {
+            plan[(start + off) % p] = true;
+        }
+        plan
+    }
+
+    fn message_delay(&mut self, view: &SimView<'_>, from: ProcId, to: ProcId) -> u64 {
+        self.inner.message_delay(view, from, to)
+    }
+}
+
+/// Every processor steps independently with probability `prob` per time
+/// unit — a jittery, heterogeneous-speed cluster.
+///
+/// To avoid deadlocking the simulation, if the coin flips would stall
+/// everyone the adversary forces one uniformly chosen processor to step
+/// (the paper's adversary can always delay everyone for a while, but a
+/// zero-progress execution has unbounded work and teaches nothing in an
+/// upper-bound experiment).
+pub struct RandomSubset {
+    inner: Box<dyn Adversary>,
+    prob: f64,
+    rng: StdRng,
+}
+
+impl std::fmt::Debug for RandomSubset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RandomSubset")
+            .field("inner", &self.inner.name())
+            .field("prob", &self.prob)
+            .finish()
+    }
+}
+
+impl RandomSubset {
+    /// Creates the adversary; each processor steps with probability `prob`
+    /// each unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < prob ≤ 1`.
+    #[must_use]
+    pub fn new(inner: Box<dyn Adversary>, prob: f64, seed: u64) -> Self {
+        assert!(prob > 0.0 && prob <= 1.0, "prob must be in (0, 1]");
+        Self {
+            inner,
+            prob,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Adversary for RandomSubset {
+    fn name(&self) -> &str {
+        "random-subset"
+    }
+
+    fn schedule(
+        &mut self,
+        view: &SimView<'_>,
+        _procs: &[Box<dyn DoAllProcess>],
+        _mailboxes: &Mailboxes,
+    ) -> Vec<bool> {
+        let p = view.processors;
+        let mut plan: Vec<bool> = (0..p).map(|_| self.rng.random_bool(self.prob)).collect();
+        if !plan.iter().any(|&b| b) {
+            plan[self.rng.random_range(0..p)] = true;
+        }
+        plan
+    }
+
+    fn message_delay(&mut self, view: &SimView<'_>, from: ProcId, to: ProcId) -> u64 {
+        self.inner.message_delay(view, from, to)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::FixedDelay;
+    use doall_core::BitSet;
+
+    #[test]
+    fn round_robin_rotates() {
+        let mut a = RoundRobin::new(Box::new(FixedDelay::new(1)), 2);
+        let done = BitSet::new(1);
+        let m = Mailboxes::new(4);
+        let mk = |now| SimView {
+            now,
+            processors: 4,
+            tasks: 1,
+            tasks_done: &done,
+        };
+        assert_eq!(a.schedule(&mk(0), &[], &m), vec![true, true, false, false]);
+        assert_eq!(a.schedule(&mk(1), &[], &m), vec![false, false, true, true]);
+        assert_eq!(a.schedule(&mk(2), &[], &m), vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn round_robin_exactly_k_step() {
+        let mut a = RoundRobin::new(Box::new(FixedDelay::new(1)), 3);
+        let done = BitSet::new(1);
+        let m = Mailboxes::new(7);
+        for now in 0..20 {
+            let view = SimView {
+                now,
+                processors: 7,
+                tasks: 1,
+                tasks_done: &done,
+            };
+            let plan = a.schedule(&view, &[], &m);
+            assert_eq!(plan.iter().filter(|&&b| b).count(), 3, "now={now}");
+        }
+    }
+
+    #[test]
+    fn random_subset_always_makes_progress() {
+        // Tiny probability: the forced-progress rule must kick in.
+        let mut a = RandomSubset::new(Box::new(FixedDelay::new(1)), 0.001, 9);
+        let done = BitSet::new(1);
+        let m = Mailboxes::new(5);
+        for now in 0..50 {
+            let view = SimView {
+                now,
+                processors: 5,
+                tasks: 1,
+                tasks_done: &done,
+            };
+            let plan = a.schedule(&view, &[], &m);
+            assert!(plan.iter().any(|&b| b), "someone must step");
+        }
+    }
+
+    #[test]
+    fn random_subset_is_seeded() {
+        let done = BitSet::new(1);
+        let m = Mailboxes::new(6);
+        let run = |seed| {
+            let mut a = RandomSubset::new(Box::new(FixedDelay::new(1)), 0.5, seed);
+            (0..10)
+                .map(|now| {
+                    let view = SimView {
+                        now,
+                        processors: 6,
+                        tasks: 1,
+                        tasks_done: &done,
+                    };
+                    a.schedule(&view, &[], &m)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(4), run(4));
+    }
+}

@@ -1,0 +1,178 @@
+//! Post-hoc analysis of execution traces: primary/secondary executions,
+//! redundancy, and per-processor activity.
+//!
+//! Section 4 of the paper distinguishes *primary* job executions — the
+//! performances of a job not yet performed by anyone at the time the
+//! performing step began — from *secondary* (redundant) ones. Executions
+//! within the same global time unit are concurrent, so several processors
+//! performing the same job at the same tick are all primary ("several
+//! processors may be executing the same job concurrently for the first
+//! time"); this is exactly why `Cont(Σ)` can exceed `n`. Lemma 4.2 bounds
+//! the primary executions of ObliDo by `Cont(Σ)`; the experiment harness
+//! verifies that bound with [`execution_profile`].
+
+use crate::{Trace, TraceEvent};
+
+/// Aggregate statistics extracted from an execution trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecutionProfile {
+    /// Performances of a task nobody had completed before the tick began
+    /// (concurrent firsts all count).
+    pub primary_executions: usize,
+    /// All remaining performances (redundant work).
+    pub secondary_executions: usize,
+    /// Number of times each task was performed, indexed by task.
+    pub multiplicity: Vec<usize>,
+    /// Total steps observed (including non-performing steps).
+    pub steps: usize,
+    /// Total broadcasts observed.
+    pub broadcasts: usize,
+}
+
+impl ExecutionProfile {
+    /// Total task performances (primary + secondary).
+    #[must_use]
+    pub fn total_executions(&self) -> usize {
+        self.primary_executions + self.secondary_executions
+    }
+
+    /// The largest number of times any single task was performed.
+    #[must_use]
+    pub fn max_multiplicity(&self) -> usize {
+        self.multiplicity.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of performances that were redundant.
+    #[must_use]
+    pub fn redundancy(&self) -> f64 {
+        let total = self.total_executions();
+        if total == 0 {
+            0.0
+        } else {
+            self.secondary_executions as f64 / total as f64
+        }
+    }
+}
+
+/// Replays `trace` (from [`crate::Simulation::run_traced`]) and computes
+/// the execution profile over `tasks` tasks.
+///
+/// Tick-batched semantics: a performance is primary iff the task had not
+/// been performed before the step's tick began. The trace must be
+/// complete (not capacity-truncated) for the counts to be exact; pass a
+/// generous capacity.
+///
+/// # Panics
+///
+/// Panics if the trace dropped events (the profile would silently
+/// undercount).
+#[must_use]
+pub fn execution_profile(trace: &Trace, tasks: usize) -> ExecutionProfile {
+    assert_eq!(
+        trace.dropped(),
+        0,
+        "trace was capacity-truncated; profile would be wrong"
+    );
+    let mut done_before_tick = vec![false; tasks];
+    let mut done_this_tick: Vec<usize> = Vec::new();
+    let mut current_tick = u64::MAX;
+    let mut profile = ExecutionProfile {
+        primary_executions: 0,
+        secondary_executions: 0,
+        multiplicity: vec![0; tasks],
+        steps: 0,
+        broadcasts: 0,
+    };
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::Step { now, performed, .. } => {
+                if *now != current_tick {
+                    current_tick = *now;
+                    for z in done_this_tick.drain(..) {
+                        done_before_tick[z] = true;
+                    }
+                }
+                profile.steps += 1;
+                if let Some(task) = performed {
+                    let z = task.index();
+                    profile.multiplicity[z] += 1;
+                    if done_before_tick[z] {
+                        profile.secondary_executions += 1;
+                    } else {
+                        profile.primary_executions += 1;
+                        done_this_tick.push(z);
+                    }
+                }
+            }
+            TraceEvent::Send { .. } => profile.broadcasts += 1,
+            TraceEvent::Completed { .. } => {}
+        }
+    }
+    profile
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doall_core::{ProcId, TaskId};
+
+    fn step(now: u64, pid: usize, task: Option<usize>) -> TraceEvent {
+        TraceEvent::Step {
+            now,
+            pid: ProcId::new(pid),
+            performed: task.map(TaskId::new),
+            broadcast: false,
+        }
+    }
+
+    #[test]
+    fn concurrent_firsts_are_all_primary() {
+        let mut trace = Trace::with_capacity(16);
+        // Tick 0: both processors perform task 0 — both primary.
+        trace.record(step(0, 0, Some(0)));
+        trace.record(step(0, 1, Some(0)));
+        // Tick 1: task 0 again — secondary; task 1 — primary.
+        trace.record(step(1, 0, Some(0)));
+        trace.record(step(1, 1, Some(1)));
+        let p = execution_profile(&trace, 2);
+        assert_eq!(p.primary_executions, 3);
+        assert_eq!(p.secondary_executions, 1);
+        assert_eq!(p.multiplicity, vec![3, 1]);
+        assert_eq!(p.total_executions(), 4);
+        assert_eq!(p.max_multiplicity(), 3);
+        assert!((p.redundancy() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_performing_steps_count_as_steps_only() {
+        let mut trace = Trace::with_capacity(8);
+        trace.record(step(0, 0, None));
+        trace.record(step(1, 0, Some(0)));
+        let p = execution_profile(&trace, 1);
+        assert_eq!(p.steps, 2);
+        assert_eq!(p.primary_executions, 1);
+        assert_eq!(p.secondary_executions, 0);
+    }
+
+    #[test]
+    fn broadcasts_counted() {
+        let mut trace = Trace::with_capacity(8);
+        trace.record(TraceEvent::Send {
+            now: 0,
+            from: ProcId::new(0),
+            recipients: 3,
+        });
+        let p = execution_profile(&trace, 1);
+        assert_eq!(p.broadcasts, 1);
+        assert_eq!(p.redundancy(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity-truncated")]
+    fn truncated_trace_rejected() {
+        let mut trace = Trace::with_capacity(1);
+        trace.record(step(0, 0, Some(0)));
+        trace.record(step(1, 0, Some(0)));
+        let _ = execution_profile(&trace, 1);
+    }
+}

@@ -1,0 +1,157 @@
+//! In-flight message storage with adversary-assigned delivery times.
+
+use doall_core::Message;
+use std::collections::BTreeMap;
+
+/// Per-processor mailboxes of in-flight messages, keyed by delivery time.
+///
+/// A message sent at global time `τ` with adversary-assigned delay `δ ≥ 1`
+/// is *deliverable* from time `τ + δ` on: it enters the recipient's inbox at
+/// the recipient's first completed step at a time `≥ τ + δ` (the paper:
+/// "the receiver can process any such message later, according to its own
+/// local clock"). Channels are reliable — nothing is lost or corrupted —
+/// and this structure preserves per-sender FIFO order within a delivery
+/// instant.
+#[derive(Debug, Default)]
+pub struct Mailboxes {
+    boxes: Vec<BTreeMap<u64, Vec<Message>>>,
+}
+
+impl Mailboxes {
+    /// Creates empty mailboxes for `p` processors.
+    #[must_use]
+    pub fn new(processors: usize) -> Self {
+        Self {
+            boxes: (0..processors).map(|_| BTreeMap::new()).collect(),
+        }
+    }
+
+    /// Number of processors.
+    #[must_use]
+    pub fn processors(&self) -> usize {
+        self.boxes.len()
+    }
+
+    /// Enqueues `msg` for processor `to`, deliverable at `deliver_at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `to` is out of range.
+    pub fn push(&mut self, to: usize, deliver_at: u64, msg: Message) {
+        self.boxes[to].entry(deliver_at).or_default().push(msg);
+    }
+
+    /// Removes and returns every message deliverable to `pid` at time
+    /// `now` (delivery time `≤ now`), oldest delivery time first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    pub fn drain_due(&mut self, pid: usize, now: u64) -> Vec<Message> {
+        let mbox = &mut self.boxes[pid];
+        if mbox.first_key_value().is_none_or(|(&k, _)| k > now) {
+            return Vec::new();
+        }
+        let later = mbox.split_off(&(now + 1));
+        let due = std::mem::replace(mbox, later);
+        due.into_values().flatten().collect()
+    }
+
+    /// Copies (without removing) every message deliverable to `pid` at
+    /// `now` — used by adversaries that peek at what a processor is about
+    /// to receive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn peek_due(&self, pid: usize, now: u64) -> Vec<Message> {
+        self.boxes[pid]
+            .range(..=now)
+            .flat_map(|(_, v)| v.iter().cloned())
+            .collect()
+    }
+
+    /// Number of messages deliverable to `pid` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pid` is out of range.
+    #[must_use]
+    pub fn due_count(&self, pid: usize, now: u64) -> usize {
+        self.boxes[pid].range(..=now).map(|(_, v)| v.len()).sum()
+    }
+
+    /// Total number of in-flight messages (any delivery time).
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.boxes
+            .iter()
+            .map(|b| b.values().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use doall_core::{BitSet, ProcId};
+
+    fn msg(from: usize) -> Message {
+        Message::new(ProcId::new(from), BitSet::new(4))
+    }
+
+    #[test]
+    fn drain_respects_delivery_time() {
+        let mut m = Mailboxes::new(2);
+        m.push(0, 5, msg(1));
+        m.push(0, 7, msg(1));
+        assert!(m.drain_due(0, 4).is_empty());
+        assert_eq!(m.drain_due(0, 5).len(), 1);
+        assert!(m.drain_due(0, 6).is_empty(), "already drained");
+        assert_eq!(m.drain_due(0, 10).len(), 1);
+    }
+
+    #[test]
+    fn drain_is_per_processor() {
+        let mut m = Mailboxes::new(3);
+        m.push(1, 1, msg(0));
+        m.push(2, 1, msg(0));
+        assert!(m.drain_due(0, 5).is_empty());
+        assert_eq!(m.drain_due(1, 5).len(), 1);
+        assert_eq!(m.drain_due(2, 5).len(), 1);
+    }
+
+    #[test]
+    fn drain_returns_oldest_first() {
+        let mut m = Mailboxes::new(1);
+        m.push(0, 9, msg(2));
+        m.push(0, 3, msg(1));
+        m.push(0, 3, msg(3));
+        let got = m.drain_due(0, 10);
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[0].from(), ProcId::new(1));
+        assert_eq!(got[1].from(), ProcId::new(3));
+        assert_eq!(got[2].from(), ProcId::new(2));
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut m = Mailboxes::new(1);
+        m.push(0, 2, msg(0));
+        assert_eq!(m.peek_due(0, 3).len(), 1);
+        assert_eq!(m.due_count(0, 3), 1);
+        assert_eq!(m.peek_due(0, 1).len(), 0);
+        assert_eq!(m.drain_due(0, 3).len(), 1, "peek left it in place");
+    }
+
+    #[test]
+    fn in_flight_counts_everything() {
+        let mut m = Mailboxes::new(2);
+        m.push(0, 1, msg(1));
+        m.push(1, 100, msg(0));
+        assert_eq!(m.in_flight(), 2);
+        m.drain_due(0, 1);
+        assert_eq!(m.in_flight(), 1);
+    }
+}

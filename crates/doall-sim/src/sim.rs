@@ -1,0 +1,468 @@
+//! The simulation driver: executes a Do-All algorithm against an adversary
+//! and produces a [`RunReport`].
+
+use crate::{Adversary, Mailboxes, SimView, Trace, TraceEvent};
+use doall_core::{
+    BitSet, DoAllProcess, Instance, Message, MessageTally, ProcId, RunReport, WorkTally,
+};
+
+/// Default safety cutoff: ticks after which a run is abandoned as
+/// non-terminating (the adversary can always prevent termination by
+/// freezing everyone; a report with `completed == false` is returned).
+const DEFAULT_MAX_TICKS: u64 = 2_000_000;
+
+/// A single execution of a Do-All algorithm under an adversary.
+///
+/// The driver advances global time one unit at a time. Each unit it asks
+/// the adversary which processors complete a local step, delivers due
+/// messages to exactly the stepping processors, executes their steps
+/// (charging one work unit each), fans out any submitted broadcasts with
+/// adversary-assigned delays (charging `p − 1` messages each), and checks
+/// for σ: the first time at which all tasks have been performed *and* some
+/// processor knows it. Work and messages are counted up to and including
+/// time σ, matching Definitions 2.1 and 2.2.
+///
+/// # Example
+///
+/// ```
+/// use doall_core::{DoAllProcess, Instance, Message, ProcId, StepOutcome, TaskId};
+/// use doall_sim::{adversary::UnitDelay, Simulation};
+///
+/// // A one-processor "algorithm" that sweeps its tasks in order.
+/// #[derive(Clone)]
+/// struct Sweep { t: usize, next: usize }
+/// impl DoAllProcess for Sweep {
+///     fn pid(&self) -> ProcId { ProcId::new(0) }
+///     fn step(&mut self, _inbox: &[Message]) -> StepOutcome {
+///         if self.next < self.t {
+///             self.next += 1;
+///             StepOutcome::perform(TaskId::new(self.next - 1))
+///         } else {
+///             StepOutcome::internal()
+///         }
+///     }
+///     fn knows_all_done(&self) -> bool { self.next >= self.t }
+///     fn clone_box(&self) -> Box<dyn DoAllProcess> { Box::new(self.clone()) }
+/// }
+///
+/// let instance = Instance::new(1, 10).unwrap();
+/// let report = Simulation::new(
+///     instance,
+///     vec![Box::new(Sweep { t: 10, next: 0 })],
+///     Box::new(UnitDelay),
+/// )
+/// .run();
+/// assert!(report.completed);
+/// assert_eq!(report.work, 10);
+/// ```
+pub struct Simulation {
+    instance: Instance,
+    procs: Vec<Box<dyn DoAllProcess>>,
+    adversary: Box<dyn Adversary>,
+    max_ticks: u64,
+    trace: Option<Trace>,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("instance", &self.instance)
+            .field("adversary", &self.adversary.name())
+            .field("max_ticks", &self.max_ticks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Simulation {
+    /// Creates a simulation of `procs` (one state machine per processor of
+    /// `instance`) against `adversary`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs.len() != instance.processors()`.
+    #[must_use]
+    pub fn new(
+        instance: Instance,
+        procs: Vec<Box<dyn DoAllProcess>>,
+        adversary: Box<dyn Adversary>,
+    ) -> Self {
+        assert_eq!(
+            procs.len(),
+            instance.processors(),
+            "need exactly one state machine per processor"
+        );
+        Self {
+            instance,
+            procs,
+            adversary,
+            max_ticks: DEFAULT_MAX_TICKS,
+            trace: None,
+        }
+    }
+
+    /// Sets the tick cutoff after which the run is abandoned (returning
+    /// `completed == false`). Defaults to two million ticks.
+    #[must_use]
+    pub fn max_ticks(mut self, ticks: u64) -> Self {
+        self.max_ticks = ticks;
+        self
+    }
+
+    /// Enables event tracing, retaining at most `capacity` events.
+    #[must_use]
+    pub fn with_trace(mut self, capacity: usize) -> Self {
+        self.trace = Some(Trace::with_capacity(capacity));
+        self
+    }
+
+    /// Runs the execution to σ (or the tick cutoff) and returns the
+    /// report. Use [`run_traced`](Self::run_traced) to also retrieve the
+    /// trace.
+    #[must_use]
+    pub fn run(self) -> RunReport {
+        self.run_traced().0
+    }
+
+    /// Runs the execution, returning the report and the trace (if tracing
+    /// was enabled).
+    #[must_use]
+    pub fn run_traced(mut self) -> (RunReport, Option<Trace>) {
+        let p = self.instance.processors();
+        let t = self.instance.tasks();
+        let mut mailboxes = Mailboxes::new(p);
+        let mut tasks_done = BitSet::new(t);
+        let mut work = WorkTally::new(p);
+        let mut msgs = MessageTally::new();
+        let mut sigma: Option<u64> = None;
+        let mut now: u64 = 0;
+
+        while now < self.max_ticks {
+            let plan = {
+                let view = SimView {
+                    now,
+                    processors: p,
+                    tasks: t,
+                    tasks_done: &tasks_done,
+                };
+                self.adversary.schedule(&view, &self.procs, &mailboxes)
+            };
+            assert_eq!(plan.len(), p, "adversary must plan every processor");
+
+            let mut informed: Option<ProcId> = None;
+            #[allow(clippy::needless_range_loop)] // plan and procs are indexed in lockstep
+            for pid in 0..p {
+                if !plan[pid] {
+                    continue;
+                }
+                let inbox = mailboxes.drain_due(pid, now);
+                let outcome = self.procs[pid].step(&inbox);
+                work.charge(pid);
+
+                if let Some(task) = outcome.performed {
+                    tasks_done.insert(task.index());
+                }
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.record(TraceEvent::Step {
+                        now,
+                        pid: ProcId::new(pid),
+                        performed: outcome.performed,
+                        broadcast: outcome.broadcast.is_some(),
+                    });
+                }
+                if let Some(bits) = outcome.broadcast {
+                    let recipients: Vec<usize> = match outcome.targets {
+                        Some(targets) => targets
+                            .into_iter()
+                            .map(doall_core::ProcId::index)
+                            .filter(|&to| to != pid && to < p)
+                            .collect(),
+                        None => (0..p).filter(|&to| to != pid).collect(),
+                    };
+                    msgs.charge(recipients.len() as u64);
+                    if let Some(trace) = self.trace.as_mut() {
+                        trace.record(TraceEvent::Send {
+                            now,
+                            from: ProcId::new(pid),
+                            recipients: recipients.len(),
+                        });
+                    }
+                    let from = ProcId::new(pid);
+                    for to in recipients {
+                        let view = SimView {
+                            now,
+                            processors: p,
+                            tasks: t,
+                            tasks_done: &tasks_done,
+                        };
+                        let delay = self.adversary.message_delay(&view, from, ProcId::new(to));
+                        assert!(delay >= 1, "message delays are at least one time unit");
+                        mailboxes.push(to, now + delay, Message::new(from, bits.clone()));
+                    }
+                }
+                if informed.is_none() && self.procs[pid].knows_all_done() {
+                    informed = Some(ProcId::new(pid));
+                }
+            }
+
+            if let Some(pid) = informed {
+                // σ per Definition 2.1: every step completed at time σ is
+                // still charged (the loop above ran the whole tick).
+                assert!(
+                    tasks_done.is_full(),
+                    "processor {pid} claims completion but tasks remain — algorithm bug"
+                );
+                sigma = Some(now);
+                if let Some(trace) = self.trace.as_mut() {
+                    trace.record(TraceEvent::Completed { now, informed: pid });
+                }
+                break;
+            }
+            now += 1;
+        }
+
+        let report = RunReport {
+            work: work.total(),
+            messages: msgs.total(),
+            sigma,
+            completed: tasks_done.is_full() && sigma.is_some(),
+            work_per_processor: work.per_processor().to_vec(),
+        };
+        (report, self.trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{FixedDelay, UnitDelay};
+    use doall_core::{StepOutcome, TaskId};
+
+    /// Performs tasks `start..t` then nothing; knows completion only of its
+    /// own share — used to test σ semantics with communication-free procs.
+    #[derive(Clone)]
+    struct Sweep {
+        pid: ProcId,
+        next: usize,
+        t: usize,
+    }
+
+    impl DoAllProcess for Sweep {
+        fn pid(&self) -> ProcId {
+            self.pid
+        }
+        fn step(&mut self, _inbox: &[Message]) -> StepOutcome {
+            if self.next < self.t {
+                let z = TaskId::new(self.next);
+                self.next += 1;
+                StepOutcome::perform(z)
+            } else {
+                StepOutcome::internal()
+            }
+        }
+        fn knows_all_done(&self) -> bool {
+            self.next >= self.t
+        }
+        fn clone_box(&self) -> Box<dyn DoAllProcess> {
+            Box::new(self.clone())
+        }
+    }
+
+    fn sweep_procs(p: usize, t: usize) -> Vec<Box<dyn DoAllProcess>> {
+        (0..p)
+            .map(|i| {
+                Box::new(Sweep {
+                    pid: ProcId::new(i),
+                    next: 0,
+                    t,
+                }) as Box<dyn DoAllProcess>
+            })
+            .collect()
+    }
+
+    #[test]
+    fn solo_sweep_work_equals_t() {
+        let instance = Instance::new(1, 25).unwrap();
+        let report = Simulation::new(instance, sweep_procs(1, 25), Box::new(UnitDelay)).run();
+        assert!(report.completed);
+        assert_eq!(report.work, 25);
+        assert_eq!(report.sigma, Some(24), "σ is the tick of the last task");
+        assert_eq!(report.messages, 0);
+    }
+
+    #[test]
+    fn parallel_sweeps_charge_everyone_until_sigma() {
+        // Two identical sweeps: both finish at tick t−1, work = 2t.
+        let instance = Instance::new(2, 10).unwrap();
+        let report = Simulation::new(instance, sweep_procs(2, 10), Box::new(UnitDelay)).run();
+        assert!(report.completed);
+        assert_eq!(report.work, 20);
+        assert_eq!(report.work_per_processor, vec![10, 10]);
+    }
+
+    #[test]
+    fn incomplete_run_reports_honestly() {
+        /// Never performs anything.
+        #[derive(Clone)]
+        struct Idler;
+        impl DoAllProcess for Idler {
+            fn pid(&self) -> ProcId {
+                ProcId::new(0)
+            }
+            fn step(&mut self, _inbox: &[Message]) -> StepOutcome {
+                StepOutcome::internal()
+            }
+            fn knows_all_done(&self) -> bool {
+                false
+            }
+            fn clone_box(&self) -> Box<dyn DoAllProcess> {
+                Box::new(Idler)
+            }
+        }
+        let instance = Instance::new(1, 3).unwrap();
+        let report = Simulation::new(instance, vec![Box::new(Idler)], Box::new(UnitDelay))
+            .max_ticks(50)
+            .run();
+        assert!(!report.completed);
+        assert_eq!(report.sigma, None);
+        assert_eq!(report.work, 50, "idle steps are still charged");
+    }
+
+    #[test]
+    fn broadcast_counts_p_minus_one_and_delivers() {
+        /// Proc 0 performs the single task and broadcasts; proc 1 waits to
+        /// learn of it.
+        #[derive(Clone)]
+        struct Teller {
+            pid: ProcId,
+            sent: bool,
+        }
+        impl DoAllProcess for Teller {
+            fn pid(&self) -> ProcId {
+                self.pid
+            }
+            fn step(&mut self, inbox: &[Message]) -> StepOutcome {
+                if self.pid.index() == 0 {
+                    if !self.sent {
+                        self.sent = true;
+                        let mut bits = BitSet::new(1);
+                        bits.insert(0);
+                        return StepOutcome::perform_and_broadcast(TaskId::new(0), bits);
+                    }
+                } else if inbox.iter().any(|m| m.bits().contains(0)) {
+                    self.sent = true; // "learned"
+                }
+                StepOutcome::internal()
+            }
+            fn knows_all_done(&self) -> bool {
+                self.sent
+            }
+            fn clone_box(&self) -> Box<dyn DoAllProcess> {
+                Box::new(self.clone())
+            }
+        }
+        let instance = Instance::new(3, 1).unwrap();
+        let procs: Vec<Box<dyn DoAllProcess>> = (0..3)
+            .map(|i| {
+                Box::new(Teller {
+                    pid: ProcId::new(i),
+                    sent: false,
+                }) as Box<dyn DoAllProcess>
+            })
+            .collect();
+        let report = Simulation::new(instance, procs, Box::new(FixedDelay::new(4))).run();
+        assert!(report.completed);
+        assert_eq!(report.messages, 2, "one broadcast to p−1 = 2 recipients");
+        // Proc 0 knows at tick 0 → σ = 0 and only tick 0 is charged.
+        assert_eq!(report.sigma, Some(0));
+        assert_eq!(report.work, 3);
+    }
+
+    #[test]
+    fn fixed_delay_defers_knowledge() {
+        /// Only proc 0 performs; procs learn via broadcast; completion
+        /// requires a non-performing proc to know (proc 0 never "knows").
+        #[derive(Clone)]
+        struct OneWay {
+            pid: ProcId,
+            done_seen: bool,
+            performed: bool,
+        }
+        impl DoAllProcess for OneWay {
+            fn pid(&self) -> ProcId {
+                self.pid
+            }
+            fn step(&mut self, inbox: &[Message]) -> StepOutcome {
+                if self.pid.index() == 0 {
+                    if !self.performed {
+                        self.performed = true;
+                        let mut bits = BitSet::new(1);
+                        bits.insert(0);
+                        return StepOutcome::perform_and_broadcast(TaskId::new(0), bits);
+                    }
+                } else if inbox.iter().any(|m| m.bits().contains(0)) {
+                    self.done_seen = true;
+                }
+                StepOutcome::internal()
+            }
+            fn knows_all_done(&self) -> bool {
+                self.done_seen
+            }
+            fn clone_box(&self) -> Box<dyn DoAllProcess> {
+                Box::new(self.clone())
+            }
+        }
+        let mk = || {
+            (0..2)
+                .map(|i| {
+                    Box::new(OneWay {
+                        pid: ProcId::new(i),
+                        done_seen: false,
+                        performed: false,
+                    }) as Box<dyn DoAllProcess>
+                })
+                .collect::<Vec<_>>()
+        };
+        let instance = Instance::new(2, 1).unwrap();
+        let fast = Simulation::new(instance, mk(), Box::new(FixedDelay::new(1))).run();
+        let slow = Simulation::new(instance, mk(), Box::new(FixedDelay::new(10))).run();
+        // Broadcast at tick 0; delivered at tick d; receiver knows at d.
+        assert_eq!(fast.sigma, Some(1));
+        assert_eq!(slow.sigma, Some(10));
+        assert!(slow.work > fast.work, "delay inflates charged work");
+    }
+
+    #[test]
+    fn trace_records_key_events() {
+        let instance = Instance::new(1, 2).unwrap();
+        let (report, trace) = Simulation::new(instance, sweep_procs(1, 2), Box::new(UnitDelay))
+            .with_trace(64)
+            .run_traced();
+        assert!(report.completed);
+        let trace = trace.unwrap();
+        let steps = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Step { .. }))
+            .count();
+        assert_eq!(steps, 2);
+        assert!(matches!(
+            trace.events().last(),
+            Some(TraceEvent::Completed { now: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn determinism_same_procs_same_adversary() {
+        let instance = Instance::new(2, 8).unwrap();
+        let a = Simulation::new(instance, sweep_procs(2, 8), Box::new(FixedDelay::new(3))).run();
+        let b = Simulation::new(instance, sweep_procs(2, 8), Box::new(FixedDelay::new(3))).run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "one state machine per processor")]
+    fn proc_count_mismatch_panics() {
+        let instance = Instance::new(2, 1).unwrap();
+        let _ = Simulation::new(instance, sweep_procs(1, 1), Box::new(UnitDelay));
+    }
+}

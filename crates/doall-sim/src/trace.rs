@@ -1,0 +1,101 @@
+//! Optional structured execution traces.
+
+use doall_core::{ProcId, TaskId};
+
+/// One observable event in a simulated execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// Processor `pid` completed a local step at global time `now`.
+    Step {
+        /// Global time of the step.
+        now: u64,
+        /// The stepping processor.
+        pid: ProcId,
+        /// Task performed during the step, if any.
+        performed: Option<TaskId>,
+        /// Whether the step submitted a broadcast.
+        broadcast: bool,
+    },
+    /// A broadcast from `from` was fanned out at time `now` (counted as
+    /// `recipients` point-to-point messages).
+    Send {
+        /// Global time of submission.
+        now: u64,
+        /// The broadcasting processor.
+        from: ProcId,
+        /// Number of point-to-point messages charged.
+        recipients: usize,
+    },
+    /// σ was reached: all tasks performed and `informed` knows it.
+    Completed {
+        /// σ — the completion time per Definition 2.1.
+        now: u64,
+        /// The first processor with complete knowledge.
+        informed: ProcId,
+    },
+}
+
+/// A bounded in-memory trace collector.
+///
+/// Traces are for debugging and the examples; complexity measurements never
+/// depend on them. The collector drops events beyond `capacity` (keeping
+/// the earliest), recording how many were dropped.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: usize,
+}
+
+impl Trace {
+    /// Creates a collector retaining at most `capacity` events.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: Vec::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Records an event (or counts it as dropped when full).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events that exceeded capacity and were dropped.
+    #[must_use]
+    pub fn dropped(&self) -> usize {
+        self.dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_until_capacity() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..4 {
+            t.record(TraceEvent::Send {
+                now: i,
+                from: ProcId::new(0),
+                recipients: 1,
+            });
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 2);
+        assert!(matches!(t.events()[0], TraceEvent::Send { now: 0, .. }));
+    }
+}

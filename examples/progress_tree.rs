@@ -1,0 +1,90 @@
+//! Anatomy of a DA(q) execution: watch the replicated progress tree
+//! coordinate three processors, step by step.
+//!
+//! Prints the certified schedule list DA uses, then replays the trace of
+//! a small run, narrating who performed what and when the replicas
+//! learned of it — the "multicast instead of shared-memory write"
+//! re-interpretation the paper builds on (§1.2).
+//!
+//! ```text
+//! cargo run --example progress_tree
+//! ```
+
+use doall::algorithms::{Algorithm, Da};
+use doall::perms::contention_exact;
+use doall::prelude::*;
+use doall::sim::analysis::execution_profile;
+use doall::sim::{Simulation, TraceEvent};
+
+fn main() -> Result<(), doall::CoreError> {
+    let q = 3;
+    let p = 3;
+    let t = 9;
+    let d = 2;
+    let instance = Instance::new(p, t)?;
+    let da = Da::with_default_schedules(q, 0);
+
+    println!("DA({q}) on p = {p}, t = {t}: ternary progress tree with 9 leaves\n");
+    println!("certified schedule list Σ (how each pid orders subtree visits):");
+    for (u, perm) in da.schedules().as_slice().iter().enumerate() {
+        println!("  π_{u} = {perm:?}");
+    }
+    println!(
+        "exact Cont(Σ) = {} (Lemma 4.1 bound 3qH_q = {:.1})\n",
+        contention_exact(da.schedules().as_slice()),
+        3.0 * q as f64 * (1.0 + 0.5 + 1.0 / 3.0),
+    );
+
+    let (report, trace) = Simulation::new(
+        instance,
+        da.spawn(instance),
+        Box::new(StageAligned::new(d)),
+    )
+    .with_trace(10_000)
+    .run_traced();
+    let trace = trace.expect("tracing enabled");
+
+    println!("execution under a stage-aligned {d}-adversary:");
+    let mut last_tick = u64::MAX;
+    for ev in trace.events() {
+        match ev {
+            TraceEvent::Step {
+                now,
+                pid,
+                performed,
+                broadcast,
+            } => {
+                if *now != last_tick {
+                    println!("  tick {now}:");
+                    last_tick = *now;
+                }
+                let action = match (performed, broadcast) {
+                    (Some(z), true) => format!("performs {z} and multicasts its replica"),
+                    (Some(z), false) => format!("performs {z}"),
+                    (None, true) => "retires a finished subtree and multicasts".to_string(),
+                    (None, false) => "descends / prunes".to_string(),
+                };
+                println!("    {pid} {action}");
+            }
+            TraceEvent::Completed { now, informed } => {
+                println!("  tick {now}: {informed} marks the root — every task is done.");
+            }
+            TraceEvent::Send { .. } => {}
+        }
+    }
+
+    let profile = execution_profile(&trace, t);
+    println!("\n{report}");
+    println!(
+        "task executions: {} primary + {} redundant (redundancy {:.0}%)",
+        profile.primary_executions,
+        profile.secondary_executions,
+        100.0 * profile.redundancy()
+    );
+    println!(
+        "the low-contention schedules spread the processors over the subtrees, so even\n\
+         with messages delayed {d} ticks, only a handful of tasks are done twice."
+    );
+    assert!(report.completed);
+    Ok(())
+}

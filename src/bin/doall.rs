@@ -1,0 +1,26 @@
+//! The `doall` command-line tool: simulate Do-All executions, sweep delay
+//! bounds, and inspect contention and closed-form bounds.
+//!
+//! ```text
+//! cargo run --release --bin doall -- simulate --algo padet -p 64 -t 256 -d 16
+//! cargo run --release --bin doall -- sweep --algo da:3 -p 27 -t 729
+//! cargo run --release --bin doall -- contention -p 16 -n 64
+//! cargo run --release --bin doall -- bounds -p 64 -t 256 -d 16
+//! ```
+
+use doall::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match cli::parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = cli::execute(&command) {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,575 @@
+//! Command-line interface for the `doall` binary.
+//!
+//! Subcommands:
+//!
+//! * `simulate` — run one execution and print the report;
+//! * `sweep`    — work vs `d` table for one algorithm;
+//! * `contention` — contention report for a random schedule list;
+//! * `bounds`   — print every closed-form bound for `(p, t, d)`.
+//!
+//! The parser is hand-rolled (no CLI dependency) and exposed here so it
+//! can be unit-tested; `src/bin/doall.rs` is a thin wrapper.
+
+use crate::algorithms::{Algorithm, Da, ObliDo, PaDet, PaGossip, PaRan1, PaRan2, SoloAll};
+use crate::bounds;
+use crate::perms::Schedules;
+use crate::sim::adversary::{
+    BurstyDelay, FixedDelay, LowerBoundAdversary, RandomDelay, RandomizedLbAdversary, StageAligned,
+    UnitDelay,
+};
+use crate::sim::{Adversary, Simulation};
+use crate::Instance;
+use std::fmt;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Run one simulated execution.
+    Simulate(RunSpec),
+    /// Work vs `d` sweep (d = 1, 2, 4, … up to `t`).
+    Sweep(RunSpec),
+    /// Contention report for a random list of `p` schedules over `[n]`.
+    Contention {
+        /// Number of schedules.
+        p: usize,
+        /// Size of the underlying set.
+        n: usize,
+        /// RNG seed for the list.
+        seed: u64,
+    },
+    /// Print the paper's closed-form bounds for `(p, t, d)`.
+    Bounds {
+        /// Processors.
+        p: usize,
+        /// Tasks.
+        t: usize,
+        /// Delay bound.
+        d: u64,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Common parameters of `simulate` and `sweep`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunSpec {
+    /// Algorithm key (see [`RunSpec::algorithm`]).
+    pub algo: String,
+    /// Processors.
+    pub p: usize,
+    /// Tasks.
+    pub t: usize,
+    /// Delay bound handed to the adversary.
+    pub d: u64,
+    /// Adversary key (see [`RunSpec::adversary`]).
+    pub adversary: String,
+    /// Seed for randomized algorithms/adversaries.
+    pub seed: u64,
+}
+
+/// Errors from parsing or executing a command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+doall — message-delay-sensitive Do-All (Kowalski & Shvartsman, PODC'03)
+
+USAGE:
+  doall simulate   --algo A -p P -t T -d D [--adversary ADV] [--seed S]
+  doall sweep      --algo A -p P -t T      [--adversary ADV] [--seed S]
+  doall contention -p P -n N [--seed S]
+  doall bounds     -p P -t T -d D
+  doall help
+
+ALGORITHMS (A):
+  soloall | oblido | da:<q> | paran1 | paran2 | padet | gossip:<fanout>
+
+ADVERSARIES (ADV, default 'stage'):
+  unit | fixed | random | stage | bursty | lb | lbrand
+";
+
+/// Parses an argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first problem found.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let sub = it.next().map(String::as_str).unwrap_or("help");
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "simulate" | "sweep" => {
+            let mut algo = None;
+            let mut p = None;
+            let mut t = None;
+            let mut d = 1u64;
+            let mut adversary = "stage".to_string();
+            let mut seed = 0u64;
+            let need_d = sub == "simulate";
+            let mut have_d = false;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| err(format!("flag {flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--algo" => algo = Some(value()?.clone()),
+                    "-p" => p = Some(parse_num(value()?, "-p")?),
+                    "-t" => t = Some(parse_num(value()?, "-t")?),
+                    "-d" => {
+                        d = parse_num(value()?, "-d")? as u64;
+                        have_d = true;
+                    }
+                    "--adversary" => adversary = value()?.clone(),
+                    "--seed" => seed = parse_num(value()?, "--seed")? as u64,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            if need_d && !have_d {
+                return Err(err("simulate requires -d"));
+            }
+            let spec = RunSpec {
+                algo: algo.ok_or_else(|| err("--algo is required"))?,
+                p: p.ok_or_else(|| err("-p is required"))?,
+                t: t.ok_or_else(|| err("-t is required"))?,
+                d,
+                adversary,
+                seed,
+            };
+            spec.validate()?;
+            Ok(if sub == "simulate" {
+                Command::Simulate(spec)
+            } else {
+                Command::Sweep(spec)
+            })
+        }
+        "contention" => {
+            let (mut p, mut n, mut seed) = (None, None, 0u64);
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| err(format!("flag {flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "-p" => p = Some(parse_num(value()?, "-p")?),
+                    "-n" => n = Some(parse_num(value()?, "-n")?),
+                    "--seed" => seed = parse_num(value()?, "--seed")? as u64,
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Contention {
+                p: p.ok_or_else(|| err("-p is required"))?,
+                n: n.ok_or_else(|| err("-n is required"))?,
+                seed,
+            })
+        }
+        "bounds" => {
+            let (mut p, mut t, mut d) = (None, None, None);
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| err(format!("flag {flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "-p" => p = Some(parse_num(value()?, "-p")?),
+                    "-t" => t = Some(parse_num(value()?, "-t")?),
+                    "-d" => d = Some(parse_num(value()?, "-d")? as u64),
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            Ok(Command::Bounds {
+                p: p.ok_or_else(|| err("-p is required"))?,
+                t: t.ok_or_else(|| err("-t is required"))?,
+                d: d.ok_or_else(|| err("-d is required"))?,
+            })
+        }
+        other => Err(err(format!(
+            "unknown subcommand `{other}`; try `doall help`"
+        ))),
+    }
+}
+
+fn parse_num(s: &str, flag: &str) -> Result<usize, CliError> {
+    s.parse()
+        .map_err(|_| err(format!("{flag}: `{s}` is not a positive integer")))
+}
+
+impl RunSpec {
+    fn validate(&self) -> Result<(), CliError> {
+        if self.p == 0 || self.t == 0 {
+            return Err(err("-p and -t must be positive"));
+        }
+        if self.d == 0 {
+            return Err(err("-d must be at least 1"));
+        }
+        // Validate keys eagerly so errors surface before a long run.
+        self.algorithm()?;
+        self.adversary()?;
+        Ok(())
+    }
+
+    /// Builds the algorithm named by `self.algo`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] for an unknown key.
+    pub fn algorithm(&self) -> Result<Box<dyn Algorithm>, CliError> {
+        let instance =
+            Instance::new(self.p, self.t).map_err(|e| err(format!("bad instance: {e}")))?;
+        let key = self.algo.as_str();
+        if let Some(q) = key.strip_prefix("da:") {
+            let q: usize = q
+                .parse()
+                .map_err(|_| err(format!("da:<q>: `{q}` is not a number")))?;
+            if !(2..=8).contains(&q) {
+                return Err(err("da:<q> supports 2 ≤ q ≤ 8 (certified schedule search)"));
+            }
+            return Ok(Box::new(Da::with_default_schedules(q, self.seed)));
+        }
+        if let Some(f) = key.strip_prefix("gossip:") {
+            let f: usize = f
+                .parse()
+                .map_err(|_| err(format!("gossip:<fanout>: `{f}` is not a number")))?;
+            if f == 0 {
+                return Err(err("gossip fanout must be at least 1"));
+            }
+            return Ok(Box::new(PaGossip::new(self.seed, f)));
+        }
+        Ok(match key {
+            "soloall" => Box::new(SoloAll::new()),
+            "oblido" => {
+                let n = instance.units();
+                Box::new(ObliDo::new(Schedules::random(n, n, self.seed)))
+            }
+            "paran1" => Box::new(PaRan1::new(self.seed)),
+            "paran2" => Box::new(PaRan2::new(self.seed)),
+            "padet" => Box::new(PaDet::random_for(instance, self.seed)),
+            other => {
+                return Err(err(format!(
+                    "unknown algorithm `{other}`; try `doall help`"
+                )))
+            }
+        })
+    }
+
+    /// Builds the adversary named by `self.adversary` with bound `d`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] for an unknown key.
+    pub fn adversary(&self) -> Result<Box<dyn Adversary>, CliError> {
+        self.adversary_with_d(self.d)
+    }
+
+    /// Builds the adversary with an explicit bound (used by sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CliError`] for an unknown key.
+    pub fn adversary_with_d(&self, d: u64) -> Result<Box<dyn Adversary>, CliError> {
+        Ok(match self.adversary.as_str() {
+            "unit" => Box::new(UnitDelay),
+            "fixed" => Box::new(FixedDelay::new(d)),
+            "random" => Box::new(RandomDelay::new(d, self.seed)),
+            "stage" => Box::new(StageAligned::new(d)),
+            "bursty" => Box::new(BurstyDelay::new(d, (d / 2).max(1))),
+            "lb" => Box::new(LowerBoundAdversary::new(d, self.t)),
+            "lbrand" => Box::new(RandomizedLbAdversary::new(d, self.t, self.seed)),
+            other => {
+                return Err(err(format!(
+                    "unknown adversary `{other}`; try `doall help`"
+                )))
+            }
+        })
+    }
+}
+
+/// Executes a parsed command, writing human-readable output to stdout.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] for invalid parameters or non-completing runs.
+pub fn execute(command: &Command) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Simulate(spec) => {
+            let instance =
+                Instance::new(spec.p, spec.t).map_err(|e| err(format!("bad instance: {e}")))?;
+            let algo = spec.algorithm()?;
+            let report = Simulation::new(instance, algo.spawn(instance), spec.adversary()?)
+                .max_ticks(50_000_000)
+                .run();
+            println!(
+                "{} | p={} t={} d={} adversary={}",
+                algo.name(),
+                spec.p,
+                spec.t,
+                spec.d,
+                spec.adversary
+            );
+            println!("{report}");
+            println!(
+                "work/(p·t) = {:.3}   messages/work = {:.2}",
+                report.work_ratio_to_quadratic(spec.p, spec.t),
+                report.messages_per_work()
+            );
+            if !report.completed {
+                return Err(err("run did not complete within the tick budget"));
+            }
+            Ok(())
+        }
+        Command::Sweep(spec) => {
+            let instance =
+                Instance::new(spec.p, spec.t).map_err(|e| err(format!("bad instance: {e}")))?;
+            let algo = spec.algorithm()?;
+            println!(
+                "{} sweep | p={} t={} adversary={}",
+                algo.name(),
+                spec.p,
+                spec.t,
+                spec.adversary
+            );
+            println!(
+                "{:>8} {:>12} {:>12} {:>10}",
+                "d", "work", "messages", "W/(p·t)"
+            );
+            let mut d = 1u64;
+            while d <= spec.t as u64 {
+                let report =
+                    Simulation::new(instance, algo.spawn(instance), spec.adversary_with_d(d)?)
+                        .max_ticks(50_000_000)
+                        .run();
+                if !report.completed {
+                    return Err(err(format!("run at d={d} did not complete")));
+                }
+                println!(
+                    "{d:>8} {:>12} {:>12} {:>10.3}",
+                    report.work,
+                    report.messages,
+                    report.work_ratio_to_quadratic(spec.p, spec.t)
+                );
+                d *= 2;
+            }
+            Ok(())
+        }
+        Command::Contention { p, n, seed } => {
+            if *p == 0 || *n == 0 {
+                return Err(err("-p and -n must be positive"));
+            }
+            let sched = Schedules::random(*p, *n, *seed);
+            let cont = sched.contention();
+            println!("random list: {p} schedules over [{n}] (seed {seed})");
+            println!(
+                "Cont(Σ) = {} ({})",
+                cont.value,
+                if cont.exact { "exact" } else { "estimate" }
+            );
+            println!(
+                "{:>6} {:>12} {:>14} {:>8}",
+                "d", "(d)-Cont", "Thm 4.4 bound", "ratio"
+            );
+            let mut d = 1usize;
+            while d <= *n {
+                let dc = crate::perms::d_contention_of_list(sched.as_slice(), d);
+                let th = crate::perms::dcont_threshold(*n, *p, d);
+                println!(
+                    "{d:>6} {:>12} {:>14.1} {:>8.3}",
+                    dc.value,
+                    th,
+                    dc.value as f64 / th
+                );
+                d *= 2;
+            }
+            Ok(())
+        }
+        Command::Bounds { p, t, d } => {
+            if *p == 0 || *t == 0 || *d == 0 {
+                return Err(err("-p, -t, -d must be positive"));
+            }
+            println!("bounds for p={p}, t={t}, d={d}:");
+            println!(
+                "  lower bound (Thm 3.1/3.4):  {:.0}",
+                bounds::lower_bound_work(*p, *t, *d)
+            );
+            println!(
+                "  DA upper (Thm 5.5, ε=0.5):  {:.0}",
+                bounds::da_upper_bound(*p, *t, *d, 0.5)
+            );
+            println!(
+                "  PA upper (Cor 6.4/6.5):     {:.0}",
+                bounds::pa_upper_bound(*p, *t, *d)
+            );
+            println!(
+                "  PA messages (Cor 6.4/6.5):  {:.0}",
+                bounds::pa_message_bound(*p, *t, *d)
+            );
+            println!(
+                "  oblivious ceiling p·t:      {:.0}",
+                bounds::oblivious_work(*p, *t)
+            );
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn parses_simulate() {
+        let cmd = parse(&args("simulate --algo paran2 -p 8 -t 32 -d 4")).unwrap();
+        match cmd {
+            Command::Simulate(spec) => {
+                assert_eq!(spec.algo, "paran2");
+                assert_eq!((spec.p, spec.t, spec.d), (8, 32, 4));
+                assert_eq!(spec.adversary, "stage");
+                assert_eq!(spec.seed, 0);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_flags_in_any_order() {
+        let cmd = parse(&args(
+            "simulate -t 32 --seed 7 --adversary fixed -d 4 -p 8 --algo da:3",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Simulate(spec) => {
+                assert_eq!(spec.algo, "da:3");
+                assert_eq!(spec.adversary, "fixed");
+                assert_eq!(spec.seed, 7);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_required_flags_error() {
+        assert!(
+            parse(&args("simulate --algo paran1 -p 8 -t 32")).is_err(),
+            "no -d"
+        );
+        assert!(
+            parse(&args("simulate --algo paran1 -t 32 -d 2")).is_err(),
+            "no -p"
+        );
+        assert!(parse(&args("simulate -p 1 -t 1 -d 1")).is_err(), "no algo");
+    }
+
+    #[test]
+    fn unknown_keys_error_eagerly() {
+        assert!(parse(&args("simulate --algo nope -p 2 -t 2 -d 1")).is_err());
+        assert!(parse(&args(
+            "simulate --algo paran1 -p 2 -t 2 -d 1 --adversary nope"
+        ))
+        .is_err());
+        assert!(parse(&args("frobnicate")).is_err());
+        assert!(parse(&args("simulate --algo da:99 -p 2 -t 2 -d 1")).is_err());
+        assert!(parse(&args("simulate --algo gossip:0 -p 2 -t 2 -d 1")).is_err());
+    }
+
+    #[test]
+    fn parses_other_subcommands() {
+        assert_eq!(
+            parse(&args("contention -p 4 -n 16")).unwrap(),
+            Command::Contention {
+                p: 4,
+                n: 16,
+                seed: 0
+            }
+        );
+        assert_eq!(
+            parse(&args("bounds -p 4 -t 16 -d 2")).unwrap(),
+            Command::Bounds { p: 4, t: 16, d: 2 }
+        );
+        assert_eq!(parse(&args("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn sweep_does_not_require_d() {
+        assert!(matches!(
+            parse(&args("sweep --algo padet -p 4 -t 8")).unwrap(),
+            Command::Sweep(_)
+        ));
+    }
+
+    #[test]
+    fn spec_builds_all_algorithms_and_adversaries() {
+        for algo in [
+            "soloall", "oblido", "da:2", "da:3", "paran1", "paran2", "padet", "gossip:2",
+        ] {
+            for adv in ["unit", "fixed", "random", "stage", "bursty", "lb", "lbrand"] {
+                let spec = RunSpec {
+                    algo: algo.to_string(),
+                    p: 4,
+                    t: 8,
+                    d: 2,
+                    adversary: adv.to_string(),
+                    seed: 1,
+                };
+                assert!(spec.algorithm().is_ok(), "{algo}");
+                assert!(spec.adversary().is_ok(), "{adv}");
+            }
+        }
+    }
+
+    #[test]
+    fn execute_simulate_small() {
+        let cmd = parse(&args("simulate --algo padet -p 4 -t 8 -d 2 --seed 3")).unwrap();
+        execute(&cmd).unwrap();
+    }
+
+    #[test]
+    fn execute_bounds_and_contention() {
+        execute(&Command::Bounds { p: 8, t: 64, d: 4 }).unwrap();
+        execute(&Command::Contention {
+            p: 3,
+            n: 6,
+            seed: 0,
+        })
+        .unwrap();
+        execute(&Command::Help).unwrap();
+    }
+
+    #[test]
+    fn execute_sweep_small() {
+        let cmd = parse(&args("sweep --algo soloall -p 2 -t 4")).unwrap();
+        execute(&cmd).unwrap();
+    }
+
+    #[test]
+    fn execute_rejects_bad_bounds() {
+        assert!(execute(&Command::Bounds { p: 0, t: 1, d: 1 }).is_err());
+        assert!(execute(&Command::Contention { p: 0, n: 4, seed: 0 }).is_err());
+    }
+
+    #[test]
+    fn cli_error_displays_message() {
+        let e = parse(&args("frobnicate")).unwrap_err();
+        assert!(e.to_string().contains("frobnicate"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based integration tests: randomized instances, adversaries,
+//! and seeds — every execution must complete correctly and respect the
+//! global invariants.
+
+use doall::prelude::*;
+use proptest::prelude::*;
+
+/// Builds the algorithm selected by `which` (0..6).
+fn algorithm(which: u8, instance: Instance, seed: u64) -> Box<dyn Algorithm> {
+    match which % 6 {
+        0 => Box::new(SoloAll::new()),
+        1 => Box::new(doall::algorithms::Da::with_default_schedules(2, seed)),
+        2 => Box::new(doall::algorithms::Da::with_default_schedules(3, seed)),
+        3 => Box::new(PaRan1::new(seed)),
+        4 => Box::new(PaRan2::new(seed)),
+        _ => Box::new(PaDet::random_for(instance, seed)),
+    }
+}
+
+/// Builds the adversary selected by `which` (0..6).
+fn adversary(which: u8, d: u64, t: usize, seed: u64) -> Box<dyn Adversary> {
+    match which % 6 {
+        0 => Box::new(UnitDelay),
+        1 => Box::new(FixedDelay::new(d)),
+        2 => Box::new(RandomDelay::new(d, seed)),
+        3 => Box::new(StageAligned::new(d)),
+        4 => Box::new(LowerBoundAdversary::new(d, t)),
+        _ => Box::new(RandomizedLbAdversary::new(d, t, seed)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any algorithm × any adversary × any (p, t, d, seed): the run
+    /// completes, performs every task (ground truth asserted inside the
+    /// simulator), charges at least t work, and counts messages within
+    /// p·W.
+    #[test]
+    fn every_execution_completes_and_accounts(
+        p in 1usize..10,
+        t in 1usize..40,
+        d in 1u64..12,
+        algo_pick in 0u8..6,
+        adv_pick in 0u8..6,
+        seed in any::<u64>(),
+    ) {
+        let instance = Instance::new(p, t).unwrap();
+        let algo = algorithm(algo_pick, instance, seed);
+        let adv = adversary(adv_pick, d, t, seed);
+        let name = format!("{} vs {} p={p} t={t} d={d}", algo.name(), adv.name());
+        let report = Simulation::new(instance, algo.spawn(instance), adv)
+            .max_ticks(1_000_000)
+            .run();
+        prop_assert!(report.completed, "{}: {}", name, report);
+        prop_assert!(report.work >= t as u64, "{}", name);
+        prop_assert!(report.messages <= report.work * (p as u64), "{}", name);
+        prop_assert_eq!(report.work_per_processor.iter().sum::<u64>(), report.work);
+        prop_assert!(report.sigma.is_some());
+    }
+
+    /// Determinism: identical configuration ⇒ identical report, for every
+    /// deterministic algorithm/adversary combination.
+    #[test]
+    fn executions_are_reproducible(
+        p in 1usize..8,
+        t in 1usize..30,
+        d in 1u64..8,
+        algo_pick in 0u8..6,
+        seed in any::<u64>(),
+    ) {
+        let instance = Instance::new(p, t).unwrap();
+        let run = || {
+            let algo = algorithm(algo_pick, instance, seed);
+            Simulation::new(
+                instance,
+                algo.spawn(instance),
+                Box::new(RandomDelay::new(d, seed)),
+            )
+            .max_ticks(1_000_000)
+            .run()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Crash patterns with one survivor never prevent completion.
+    #[test]
+    fn single_survivor_suffices(
+        p in 2usize..8,
+        t in 1usize..25,
+        d in 1u64..6,
+        algo_pick in 0u8..6,
+        survivor in 0usize..8,
+        crash_at in 0u64..30,
+        seed in any::<u64>(),
+    ) {
+        let instance = Instance::new(p, t).unwrap();
+        let algo = algorithm(algo_pick, instance, seed);
+        let adversary = CrashSchedule::all_but_one(
+            Box::new(FixedDelay::new(d)),
+            p,
+            survivor % p,
+            crash_at,
+        );
+        let report = Simulation::new(instance, algo.spawn(instance), Box::new(adversary))
+            .max_ticks(1_000_000)
+            .run();
+        prop_assert!(report.completed, "{}: {}", algo.name(), report);
+    }
+}
