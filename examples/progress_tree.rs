@@ -35,13 +35,10 @@ fn main() -> Result<(), doall::CoreError> {
         3.0 * q as f64 * (1.0 + 0.5 + 1.0 / 3.0),
     );
 
-    let (report, trace) = Simulation::new(
-        instance,
-        da.spawn(instance),
-        Box::new(StageAligned::new(d)),
-    )
-    .with_trace(10_000)
-    .run_traced();
+    let (report, trace) =
+        Simulation::new(instance, da.spawn(instance), Box::new(StageAligned::new(d)))
+            .with_trace(10_000)
+            .run_traced();
     let trace = trace.expect("tracing enabled");
 
     println!("execution under a stage-aligned {d}-adversary:");

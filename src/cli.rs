@@ -564,12 +564,142 @@ mod tests {
     #[test]
     fn execute_rejects_bad_bounds() {
         assert!(execute(&Command::Bounds { p: 0, t: 1, d: 1 }).is_err());
-        assert!(execute(&Command::Contention { p: 0, n: 4, seed: 0 }).is_err());
+        assert!(execute(&Command::Contention {
+            p: 0,
+            n: 4,
+            seed: 0
+        })
+        .is_err());
     }
 
     #[test]
     fn cli_error_displays_message() {
         let e = parse(&args("frobnicate")).unwrap_err();
         assert!(e.to_string().contains("frobnicate"));
+    }
+
+    /// Renders a [`RunSpec`] back into the argument vector that produces it.
+    fn spec_args(sub: &str, spec: &RunSpec) -> Vec<String> {
+        args(&format!(
+            "{sub} --algo {} -p {} -t {} -d {} --adversary {} --seed {}",
+            spec.algo, spec.p, spec.t, spec.d, spec.adversary, spec.seed
+        ))
+    }
+
+    #[test]
+    fn simulate_round_trips() {
+        let spec = RunSpec {
+            algo: "da:4".to_string(),
+            p: 9,
+            t: 81,
+            d: 3,
+            adversary: "bursty".to_string(),
+            seed: 1234,
+        };
+        assert_eq!(
+            parse(&spec_args("simulate", &spec)).unwrap(),
+            Command::Simulate(spec)
+        );
+    }
+
+    #[test]
+    fn sweep_round_trips() {
+        let spec = RunSpec {
+            algo: "gossip:3".to_string(),
+            p: 5,
+            t: 40,
+            d: 7,
+            adversary: "lbrand".to_string(),
+            seed: u64::from(u32::MAX) + 1,
+        };
+        assert_eq!(
+            parse(&spec_args("sweep", &spec)).unwrap(),
+            Command::Sweep(spec)
+        );
+    }
+
+    #[test]
+    fn contention_and_bounds_round_trip() {
+        let cont = Command::Contention {
+            p: 7,
+            n: 29,
+            seed: 99,
+        };
+        assert_eq!(
+            parse(&args("contention -p 7 -n 29 --seed 99")).unwrap(),
+            cont
+        );
+        let bounds = Command::Bounds {
+            p: 31,
+            t: 977,
+            d: 13,
+        };
+        assert_eq!(parse(&args("bounds -p 31 -t 977 -d 13")).unwrap(), bounds);
+    }
+
+    #[test]
+    fn flags_without_values_error() {
+        for line in [
+            "simulate --algo",
+            "simulate --algo paran1 -p",
+            "sweep --algo paran1 -p 2 -t",
+            "contention -p 2 -n",
+            "bounds -p 2 -t 4 -d",
+        ] {
+            let e = parse(&args(line)).unwrap_err();
+            assert!(e.to_string().contains("needs a value"), "{line}: {e}");
+        }
+    }
+
+    #[test]
+    fn non_numeric_values_error() {
+        for line in [
+            "simulate --algo paran1 -p many -t 4 -d 1",
+            "simulate --algo paran1 -p 4 -t 4 -d soon",
+            "sweep --algo paran1 -p 4 -t x",
+            "contention -p 2 -n nope",
+            "bounds -p 2 -t 4 -d -1",
+        ] {
+            let e = parse(&args(line)).unwrap_err();
+            assert!(
+                e.to_string().contains("not a positive integer"),
+                "{line}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_flags_error_per_subcommand() {
+        assert!(parse(&args("simulate --algo paran1 -p 2 -t 2 -d 1 --frob 3")).is_err());
+        assert!(parse(&args("contention -p 2 -n 4 --algo paran1")).is_err());
+        assert!(parse(&args("bounds -p 2 -t 4 -d 1 --seed 3")).is_err());
+    }
+
+    #[test]
+    fn zero_values_are_rejected() {
+        assert!(parse(&args("simulate --algo paran1 -p 0 -t 2 -d 1")).is_err());
+        assert!(parse(&args("simulate --algo paran1 -p 2 -t 0 -d 1")).is_err());
+        assert!(parse(&args("simulate --algo paran1 -p 2 -t 2 -d 0")).is_err());
+    }
+
+    #[test]
+    fn contention_seed_defaults_to_zero() {
+        assert_eq!(
+            parse(&args("contention -p 2 -n 4")).unwrap(),
+            Command::Contention {
+                p: 2,
+                n: 4,
+                seed: 0
+            }
+        );
+    }
+
+    #[test]
+    fn missing_contention_and_bounds_flags_error() {
+        assert!(parse(&args("contention -n 4")).is_err());
+        assert!(parse(&args("contention -p 4")).is_err());
+        assert!(parse(&args("bounds -t 4 -d 1")).is_err());
+        assert!(parse(&args("bounds -p 4 -d 1")).is_err());
+        assert!(parse(&args("bounds -p 4 -t 4")).is_err());
     }
 }

@@ -1,0 +1,251 @@
+//! Vendored, dependency-free stand-in for the `criterion` benchmark
+//! harness, exposing the subset of the API this workspace uses. The build
+//! environment has no access to crates.io; this stub keeps names and module
+//! paths compatible so the real crate can be swapped back in later.
+//!
+//! Measurement model: each benchmark closure is warmed up briefly, then
+//! timed over adaptive batches until ~`sample_size` samples or a small time
+//! budget is reached; the median, minimum, and maximum per-iteration times
+//! are printed. No plots, no statistics files — just honest numbers on
+//! stdout, enough to compare hot paths run-to-run on the same machine.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] amortises setup cost. The stub runs one
+/// setup per measured invocation regardless of the hint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times closures handed to `bench_function`.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    budget: Duration,
+    /// Collected per-iteration durations (nanoseconds).
+    recorded: Vec<f64>,
+}
+
+impl Bencher {
+    fn new(samples: usize, budget: Duration) -> Self {
+        Bencher {
+            samples,
+            budget,
+            recorded: Vec::new(),
+        }
+    }
+
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup and per-batch calibration: grow the batch until it is
+        // long enough to time reliably (~100µs) or the routine is slow.
+        let mut batch = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= Duration::from_micros(100) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let nanos = start.elapsed().as_nanos() as f64 / batch as f64;
+            self.recorded.push(nanos);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Times `routine` over values produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let deadline = Instant::now() + self.budget;
+        for _ in 0..self.samples.max(10) {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed().as_nanos() as f64);
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn human(nanos: f64) -> String {
+    if nanos < 1_000.0 {
+        format!("{nanos:.1} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.2} µs", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.2} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos / 1_000_000_000.0)
+    }
+}
+
+fn report(name: &str, recorded: &mut [f64]) {
+    if recorded.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    recorded.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+    let median = recorded[recorded.len() / 2];
+    let lo = recorded[0];
+    let hi = recorded[recorded.len() - 1];
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        human(lo),
+        human(median),
+        human(hi)
+    );
+}
+
+/// A named group of related benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    /// Group-scoped override; the parent's default is untouched so the
+    /// setting cannot leak into later groups (matching real criterion).
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = Some(samples);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&id, samples, f);
+        self
+    }
+
+    /// Ends the group (kept for API parity; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 30,
+            budget: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    fn run_one<F>(&mut self, id: &str, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(samples, self.budget);
+        f(&mut bencher);
+        report(id, &mut bencher.recorded);
+    }
+
+    /// Runs one free-standing benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.sample_size;
+        self.run_one(&id, samples, f);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+}
+
+/// Declares a group runner: `criterion_group!(benches, f1, f2)` produces a
+/// function `benches()` that runs each `fi(&mut Criterion)`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_and_reports() {
+        let mut c = Criterion::default();
+        c.bench_function("smoke/iter", |b| b.iter(|| black_box(3u64 + 4)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(5);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| black_box(x * 2), BatchSize::SmallInput);
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn human_units() {
+        assert!(human(12.0).ends_with("ns"));
+        assert!(human(12_000.0).ends_with("µs"));
+        assert!(human(12_000_000.0).ends_with("ms"));
+        assert!(human(12_000_000_000.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,52 @@
+//! Vendored, dependency-free stand-in for the `crossbeam` crate, exposing
+//! the subset this workspace uses: unbounded MPSC channels. Backed by
+//! `std::sync::mpsc`, which provides the same reliable-FIFO-per-sender
+//! semantics the runtime's router needs (single consumer per receiver is
+//! all the workspace requires). No access to crates.io in the build
+//! environment; swap the real crate back in via `Cargo.toml` when online.
+
+#![forbid(unsafe_code)]
+
+/// MPSC channels (mirror of `crossbeam::channel`).
+pub mod channel {
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half (clonable).
+    pub type Sender<T> = std::sync::mpsc::Sender<T>;
+
+    /// Receiving half.
+    pub type Receiver<T> = std::sync::mpsc::Receiver<T>;
+
+    /// Creates an unbounded FIFO channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::time::Duration;
+
+    #[test]
+    fn round_trip_and_timeout() {
+        let (tx, rx) = unbounded::<u32>();
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv().unwrap(), 7);
+        assert_eq!(rx.try_recv().unwrap_err(), TryRecvError::Empty);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Timeout
+        );
+        let tx2 = tx.clone();
+        tx2.send(8).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)).unwrap(), 8);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+            RecvTimeoutError::Disconnected
+        );
+    }
+}
