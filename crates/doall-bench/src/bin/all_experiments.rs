@@ -1,54 +1,13 @@
-//! Runs every experiment binary in sequence — the generator for
-//! EXPERIMENTS.md.
+//! Runs the whole experiment registry in-process — the generator for
+//! EXPERIMENTS.md tables and CI's `bench-smoke.json` artifact.
 //!
 //! ```text
-//! cargo run --release -p doall-bench --bin all_experiments > experiments.out
+//! cargo run --release -p doall-bench --bin all_experiments               # full tables
+//! cargo run --release -p doall-bench --bin all_experiments -- \
+//!     --smoke --json --out bench-smoke.json                             # CI artifact
+//! cargo run --release -p doall-bench --bin all_experiments -- --only e05,e11
 //! ```
 
-use std::process::Command;
-
-const EXPERIMENTS: &[&str] = &[
-    "e01_quadratic_wall",
-    "e02_lb_deterministic",
-    "e03_lb_randomized",
-    "e04_contention",
-    "e05_dcontention",
-    "e06_da_work",
-    "e07_da_messages",
-    "e08_pa_random",
-    "e09_pa_det",
-    "e10_work_vs_dcont",
-    "e11_crossover",
-    "e12_crash_tolerance",
-    "e13_da_q_ablation",
-    "e14_gossip_tradeoff",
-    "e15_structured_schedules",
-];
-
 fn main() {
-    // Prefer exec-ing sibling binaries (same target dir); fall back to
-    // cargo run if a sibling is missing.
-    let me = std::env::current_exe().expect("current exe");
-    let dir = me.parent().expect("exe dir").to_path_buf();
-    for exp in EXPERIMENTS {
-        let sibling = dir.join(exp);
-        let status = if sibling.exists() {
-            Command::new(&sibling).status()
-        } else {
-            Command::new("cargo")
-                .args(["run", "--release", "-p", "doall-bench", "--bin", exp])
-                .status()
-        };
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("experiment {exp} exited with {s}");
-                std::process::exit(1);
-            }
-            Err(e) => {
-                eprintln!("failed to launch {exp}: {e}");
-                std::process::exit(1);
-            }
-        }
-    }
+    doall_bench::suite_main();
 }

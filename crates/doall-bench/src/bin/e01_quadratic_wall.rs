@@ -1,37 +1,8 @@
 //! E1 — Proposition 2.2: once `d = Ω(t)`, every algorithm pays `Θ(p·t)`.
 //!
-//! Sweep all algorithms at `d ∈ {t, 2t}` and report `W/(p·t)`: the ratio
-//! must be bounded above and below by constants, i.e. cooperation can no
-//! longer buy anything.
-
-use doall_bench::{fmt, roster, run_once, section, Table};
-use doall_core::Instance;
-use doall_sim::adversary::FixedDelay;
+//! Declarative spec lives in `doall_bench::experiments` (id `e01`); this
+//! binary only parses the shared flags and hands off to the harness.
 
 fn main() {
-    section(
-        "E1",
-        "Proposition 2.2 (quadratic wall at d = Ω(t))",
-        "All algorithms at d ∈ {t, 2t}; cells are W/(p·t). Expect Θ(1) everywhere.",
-    );
-    for (p, t) in [(32usize, 32usize), (64, 64)] {
-        let instance = Instance::new(p, t).unwrap();
-        let quadratic = (p * t) as f64;
-        println!("### p = {p}, t = {t}\n");
-        let mut table = Table::new(vec!["algorithm", "W at d=t", "ratio", "W at d=2t", "ratio"]);
-        for algo in roster(instance, 0) {
-            let at_t = run_once(instance, &*algo, Box::new(FixedDelay::new(t as u64)));
-            let at_2t = run_once(instance, &*algo, Box::new(FixedDelay::new(2 * t as u64)));
-            table.row(vec![
-                algo.name(),
-                at_t.work.to_string(),
-                fmt(at_t.work as f64 / quadratic),
-                at_2t.work.to_string(),
-                fmt(at_2t.work as f64 / quadratic),
-            ]);
-        }
-        table.print();
-        println!();
-    }
-    println!("Paper: Ω(t·p) is unavoidable for a (c·t)-adversary — the ratios sit in a narrow constant band.");
+    doall_bench::experiment_main("e01");
 }

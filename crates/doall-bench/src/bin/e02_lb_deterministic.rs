@@ -1,64 +1,8 @@
 //! E2 — Theorem 3.1: the adaptive adversary forces deterministic
 //! algorithms to `Ω(t + p·min{d,t}·log_{d+1}(d+t))` work.
 //!
-//! DA(3) and PaDet (p = t, task granularity) against the dry-run
-//! lower-bound adversary across a `d`-sweep; the measured forced work is
-//! compared with the closed-form bound. The measured/bound ratio staying
-//! in a constant band while both grow with `d` is the reproduction.
-
-use doall_algorithms::{Algorithm, Da, PaDet};
-use doall_bench::{fmt, run_once, section, Table};
-use doall_bounds::lower_bound_work;
-use doall_core::Instance;
-use doall_sim::adversary::{LowerBoundAdversary, UnitDelay};
+//! Declarative spec lives in `doall_bench::experiments` (id `e02`).
 
 fn main() {
-    let p = 243;
-    let t = 243;
-    let instance = Instance::new(p, t).unwrap();
-    section(
-        "E2",
-        "Theorem 3.1 (delay-sensitive lower bound, deterministic)",
-        &format!(
-            "p = t = {t}; LowerBoundAdversary (stage dry-runs) vs the bound \
-             t + p·min{{d,t}}·log_(d+1)(d+t). 'benign' is the same algorithm under unit delay."
-        ),
-    );
-    let algos: Vec<Box<dyn Algorithm>> = vec![
-        Box::new(Da::with_default_schedules(3, 0)),
-        Box::new(PaDet::random_for(instance, 0)),
-    ];
-    for algo in algos {
-        println!("### {}\n", algo.name());
-        let benign = run_once(instance, &*algo, Box::new(UnitDelay));
-        let mut table = Table::new(vec![
-            "d",
-            "forced W",
-            "LB formula",
-            "forced/LB",
-            "forced/(p·t)",
-            "forced/benign",
-        ]);
-        for d in [1u64, 3, 9, 27, 81, 243] {
-            let attacked = run_once(instance, &*algo, Box::new(LowerBoundAdversary::new(d, t)));
-            let lb = lower_bound_work(p, t, d);
-            table.row(vec![
-                d.to_string(),
-                attacked.work.to_string(),
-                fmt(lb),
-                fmt(attacked.work as f64 / lb),
-                fmt(attacked.work as f64 / (p as f64 * t as f64)),
-                fmt(attacked.work as f64 / benign.work as f64),
-            ]);
-        }
-        table.print();
-        println!("\n(benign work: {})\n", benign.work);
-    }
-    println!("Paper: forced work grows with d. Reading the constants: the proof's adversary uses");
-    println!(
-        "stages of L = min{{d, t/6}} and guarantees ≥ (p/3)·L work per stage, i.e. for d ≥ t/6"
-    );
-    println!("it forces Θ(p·t) with constant ≥ 1/18 (the paper's own Case 'd ≥ t/6'); the");
-    println!("forced/(p·t) column saturating in the [1/18, 1] band at large d is the predicted");
-    println!("behaviour, while for small d the forced/LB ratio stays within a constant band.");
+    doall_bench::experiment_main("e02");
 }

@@ -1,63 +1,8 @@
 //! E3 — Theorem 3.4: the online delay-on-touch adversary forces
 //! randomized algorithms to the same expected-work lower bound.
 //!
-//! PaRan1/PaRan2 (p = t) against RandomizedLbAdversary, averaged over
-//! seeds, vs the closed-form bound.
-
-use doall_algorithms::{Algorithm, PaRan1, PaRan2};
-use doall_bench::{fmt, section, seed_average, Table};
-use doall_bounds::lower_bound_work;
-use doall_core::Instance;
-use doall_sim::adversary::{RandomizedLbAdversary, UnitDelay};
-use doall_sim::Adversary;
-
-type AlgoFactory = Box<dyn Fn(u64) -> Box<dyn Algorithm>>;
+//! Declarative spec lives in `doall_bench::experiments` (id `e03`).
 
 fn main() {
-    let p = 128;
-    let t = 128;
-    let seeds = 10;
-    let instance = Instance::new(p, t).unwrap();
-    section(
-        "E3",
-        "Theorem 3.4 (delay-sensitive lower bound, randomized)",
-        &format!("p = t = {t}; delay-on-touch adversary; mean over {seeds} seeds."),
-    );
-
-    let mk_algo: Vec<(&str, AlgoFactory)> = vec![
-        ("PaRan1", Box::new(|s| Box::new(PaRan1::new(s)))),
-        ("PaRan2", Box::new(|s| Box::new(PaRan2::new(s)))),
-    ];
-    for (name, algo_for) in mk_algo {
-        println!("### {name}\n");
-        let benign = seed_average(instance, seeds, &algo_for, |_| {
-            Box::new(UnitDelay) as Box<dyn Adversary>
-        });
-        let mut table = Table::new(vec![
-            "d",
-            "E[forced W]",
-            "max W",
-            "LB formula",
-            "E[W]/LB",
-            "E[W]/benign",
-        ]);
-        for d in [1u64, 4, 16, 64, 128] {
-            let stats = seed_average(instance, seeds, &algo_for, |s| {
-                Box::new(RandomizedLbAdversary::new(d, t, s.wrapping_add(1000)))
-                    as Box<dyn Adversary>
-            });
-            let lb = lower_bound_work(p, t, d);
-            table.row(vec![
-                d.to_string(),
-                fmt(stats.mean_work),
-                stats.max_work.to_string(),
-                fmt(lb),
-                fmt(stats.mean_work / lb),
-                fmt(stats.mean_work / benign.mean_work),
-            ]);
-        }
-        table.print();
-        println!("\n(benign mean work: {})\n", fmt(benign.mean_work));
-    }
-    println!("Paper: expected forced work grows with d; freezing on touched defended tasks realizes Lemma 3.3's adversary.");
+    doall_bench::experiment_main("e03");
 }

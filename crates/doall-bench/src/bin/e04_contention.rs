@@ -1,119 +1,9 @@
 //! E4 — Lemma 4.1 + Lemma 4.2: low-contention lists exist (and our search
-//! finds them), and ObliDo's primary executions are bounded by `Cont(Σ)`.
-
-use doall_algorithms::{Algorithm, ObliDo};
-use doall_bench::{fmt, section, Table};
-use doall_core::Instance;
-use doall_perms::{contention_exact, search, Schedules};
-use doall_sim::adversary::StageAligned;
-use doall_sim::{Simulation, TraceEvent};
+//! finds them), and ObliDo's primary executions are bounded by `Cont(Σ)`
+//! (asserted from replayed execution traces).
+//!
+//! Declarative spec lives in `doall_bench::experiments` (id `e04`).
 
 fn main() {
-    section(
-        "E4",
-        "Lemma 4.1 (Cont(Σ) ≤ 3nH_n lists exist) and Lemma 4.2 (primary executions ≤ Cont(Σ))",
-        "Certified search vs the bound; then ObliDo traces replayed to count primary executions.",
-    );
-
-    println!("### Certified low-contention lists\n");
-    let mut table = Table::new(vec![
-        "n",
-        "method",
-        "Cont(Σ) found",
-        "3nH_n bound",
-        "worst list (n²)",
-    ]);
-    for n in 2..=7usize {
-        let (sched, cont) = search::low_contention_list(n, 0);
-        debug_assert_eq!(sched.len(), n);
-        let method = match n {
-            2..=3 => "exhaustive (optimal)",
-            _ => "hill-climb (exact certificate)",
-        };
-        table.row(vec![
-            n.to_string(),
-            method.to_string(),
-            cont.value.to_string(),
-            fmt(search::lemma41_bound(n)),
-            (n * n).to_string(),
-        ]);
-    }
-    table.print();
-
-    println!("\n### Lemma 4.2: ObliDo primary executions vs Cont(Σ)\n");
-    let mut table = Table::new(vec![
-        "n",
-        "list",
-        "Cont(Σ)",
-        "primary executions",
-        "total executions (n²)",
-    ]);
-    for n in [5usize, 6, 7] {
-        for (label, sched) in [
-            ("searched", search::low_contention_list(n, 0).0),
-            ("random", Schedules::random(n, n, 1)),
-            ("worst (identical)", Schedules::worst(n, n)),
-        ] {
-            let cont = contention_exact(sched.as_slice());
-            let primary = primary_executions(n, &sched);
-            assert!(
-                primary <= cont,
-                "Lemma 4.2 violated: {primary} > {cont} (n={n}, {label})"
-            );
-            table.row(vec![
-                n.to_string(),
-                label.to_string(),
-                cont.to_string(),
-                primary.to_string(),
-                (n * n).to_string(),
-            ]);
-        }
-    }
-    table.print();
-    println!("\nPaper: primary executions never exceed Cont(Σ); low-contention lists beat the worst case by ~n/log n.");
-}
-
-/// Runs ObliDo under a stage-aligned adversary and replays the trace to
-/// count *primary* job executions: performances of a job that had not
-/// been performed before the current time unit began. Executions within
-/// one time unit are concurrent, so two processors both doing job `z` at
-/// the same tick are **both** primary — the paper's semantics ("several
-/// processors may be executing the same job concurrently for the first
-/// time"), which is what lets Cont(Σ) exceed n.
-fn primary_executions(n: usize, schedules: &Schedules) -> usize {
-    let instance = Instance::new(n, n).unwrap();
-    let algo = ObliDo::new(schedules.clone());
-    let (report, trace) = Simulation::new(
-        instance,
-        algo.spawn(instance),
-        Box::new(StageAligned::new(2)),
-    )
-    .with_trace(1_000_000)
-    .run_traced();
-    assert!(report.completed);
-    let trace = trace.expect("tracing enabled");
-    let mut done_before_tick = vec![false; n];
-    let mut done_this_tick: Vec<usize> = Vec::new();
-    let mut current_tick = u64::MAX;
-    let mut primary = 0;
-    for ev in trace.events() {
-        if let TraceEvent::Step {
-            now,
-            performed: Some(task),
-            ..
-        } = ev
-        {
-            if *now != current_tick {
-                current_tick = *now;
-                for z in done_this_tick.drain(..) {
-                    done_before_tick[z] = true;
-                }
-            }
-            if !done_before_tick[task.index()] {
-                primary += 1;
-                done_this_tick.push(task.index());
-            }
-        }
-    }
-    primary
+    doall_bench::experiment_main("e04");
 }

@@ -1,43 +1,8 @@
 //! E5 — Theorem 4.4 / Corollary 4.5: a random list of `p` schedules over
-//! `[n]` has `(d)-Cont(Σ) ≤ n·ln n + 8·p·d·ln(e + n/d)` for every `d`
-//! simultaneously, with overwhelming probability.
+//! `[n]` has `(d)-Cont(Σ) ≤ n·ln n + 8·p·d·ln(e + n/d)` for every `d`.
 //!
-//! We sample random lists and report the estimated `(d)-Cont` (sampling +
-//! adversarial ascent over the reference permutation) against the
-//! threshold; the ratio staying below 1 across the whole `d` range is the
-//! reproduction. Small-`n` rows use exact evaluation.
-
-use doall_bench::{fmt, section, Table};
-use doall_perms::{d_contention_of_list, dcont_threshold, Schedules};
+//! Declarative spec lives in `doall_bench::experiments` (id `e05`).
 
 fn main() {
-    section(
-        "E5",
-        "Theorem 4.4 / Corollary 4.5 ((d)-contention of random schedule lists)",
-        "Estimated (exact for n ≤ 8) (d)-Cont(Σ) vs n·ln n + 8pd·ln(e+n/d), across d.",
-    );
-    for (p, n) in [(8usize, 8usize), (8, 64), (16, 64), (16, 256), (32, 256)] {
-        let sched = Schedules::random(p, n, 7);
-        println!("### p = {p} schedules over [{n}]\n");
-        let mut table = Table::new(vec!["d", "(d)-Cont (est)", "threshold", "ratio", "cap n·p"]);
-        let mut d = 1usize;
-        while d <= n {
-            let est = d_contention_of_list(sched.as_slice(), d);
-            let th = dcont_threshold(n, p, d);
-            table.row(vec![
-                format!("{d}{}", if est.exact { " (exact)" } else { "" }),
-                est.value.to_string(),
-                fmt(th),
-                fmt(est.value as f64 / th),
-                (n * p).to_string(),
-            ]);
-            d *= 4;
-        }
-        table.print();
-        println!();
-    }
-    println!(
-        "Paper: the threshold holds for every d simultaneously w.h.p. — all ratios stay below 1,"
-    );
-    println!("with the saturation cap n·p taking over once d ≳ n.");
+    doall_bench::experiment_main("e05");
 }

@@ -1,54 +1,8 @@
 //! E6 — Theorems 5.4/5.5: DA(q) work across a `d`-sweep vs the bound
 //! `t·p^ε + p·min{t,d}·⌈t/d⌉^ε`.
 //!
-//! Three instance shapes: p = t (task granularity), t ≫ p (job
-//! clustering), and the p = 27/t = 729 shape used throughout the paper's
-//! style of parameterization. ε is the value DA(q) actually achieves with
-//! its certified schedule list: ε = log_q(Cont(Σ)/q).
-
-use doall_algorithms::Da;
-use doall_bench::{fmt, run_once, section, Table};
-use doall_bounds::{da_epsilon, da_upper_bound, oblivious_work};
-use doall_core::Instance;
-use doall_perms::contention_exact;
-use doall_sim::adversary::StageAligned;
+//! Declarative spec lives in `doall_bench::experiments` (id `e06`).
 
 fn main() {
-    section(
-        "E6",
-        "Theorems 5.4/5.5 (DA(q) delay-sensitive work)",
-        "Work under the stage-aligned d-adversary vs t·p^ε + p·min{t,d}·⌈t/d⌉^ε, \
-         with ε = log_q(Cont(Σ)/q) from the certified schedule list.",
-    );
-    let q = 3;
-    let da = Da::with_default_schedules(q, 0);
-    let cont = contention_exact(da.schedules().as_slice());
-    let eps = da_epsilon(q, cont).max(0.05);
-    println!(
-        "DA({q}) with Cont(Σ) = {cont} → ε = {} (Lemma 4.1 bound would give {})\n",
-        fmt(eps),
-        fmt(doall_bounds::cont_bound_lemma41(q)),
-    );
-
-    for (p, t) in [(243usize, 243usize), (27, 729), (9, 6561)] {
-        let instance = Instance::new(p, t).unwrap();
-        println!("### p = {p}, t = {t} (p·t = {})\n", p * t);
-        let mut table = Table::new(vec!["d", "W", "bound", "W/bound", "W/(p·t)"]);
-        let mut d = 1u64;
-        while d <= t as u64 {
-            let report = run_once(instance, &da, Box::new(StageAligned::new(d)));
-            let bound = da_upper_bound(p, t, d, eps);
-            table.row(vec![
-                d.to_string(),
-                report.work.to_string(),
-                fmt(bound),
-                fmt(report.work as f64 / bound),
-                fmt(report.work as f64 / oblivious_work(p, t)),
-            ]);
-            d *= 3;
-        }
-        table.print();
-        println!();
-    }
-    println!("Paper: W/bound stays in a constant band; W/(p·t) is ≪ 1 while d = o(t) (subquadratic regime).");
+    doall_bench::experiment_main("e06");
 }

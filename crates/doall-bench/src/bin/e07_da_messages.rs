@@ -1,39 +1,7 @@
 //! E7 — Theorem 5.6: DA's message complexity is `O(p·W)`.
 //!
-//! Report M, p·W and their ratio across a `d`-sweep and across `q`.
-
-use doall_algorithms::Da;
-use doall_bench::{fmt, run_once, section, Table};
-use doall_core::Instance;
-use doall_sim::adversary::StageAligned;
+//! Declarative spec lives in `doall_bench::experiments` (id `e07`).
 
 fn main() {
-    section(
-        "E7",
-        "Theorem 5.6 (DA message complexity M = O(p·W))",
-        "M vs p·W across d and q; the ratio is bounded by 1 by construction \
-         (each step broadcasts at most once, to p−1 recipients) — the table \
-         shows how far below the bound DA actually stays.",
-    );
-    for q in [2usize, 3, 4] {
-        let da = Da::with_default_schedules(q, 0);
-        let p = 64;
-        let t = 256;
-        let instance = Instance::new(p, t).unwrap();
-        println!("### DA({q}), p = {p}, t = {t}\n");
-        let mut table = Table::new(vec!["d", "W", "M", "p·W", "M/(p·W)"]);
-        for d in [1u64, 4, 16, 64, 256] {
-            let report = run_once(instance, &da, Box::new(StageAligned::new(d)));
-            table.row(vec![
-                d.to_string(),
-                report.work.to_string(),
-                report.messages.to_string(),
-                (report.work * p as u64).to_string(),
-                fmt(report.messages as f64 / (report.work * p as u64) as f64),
-            ]);
-        }
-        table.print();
-        println!();
-    }
-    println!("Paper: M = O(p·W) — every ratio is < 1, and only node-retiring steps broadcast.");
+    doall_bench::experiment_main("e07");
 }

@@ -1,62 +1,8 @@
 //! E8 — Theorem 6.2 / Corollary 6.4: expected work of PaRan1/PaRan2 is
 //! `O(t log p + p·d·log(2 + t/d))`, messages `O(p×that)`.
 //!
-//! Mean over seeds across a `d`-sweep, for p = t and t ≫ p.
-
-use doall_algorithms::{Algorithm, PaRan1, PaRan2};
-use doall_bench::{fmt, section, seed_average, Table};
-use doall_bounds::{oblivious_work, pa_upper_bound};
-use doall_core::Instance;
-use doall_sim::adversary::StageAligned;
-use doall_sim::Adversary;
-
-type AlgoFactory = Box<dyn Fn(u64) -> Box<dyn Algorithm>>;
+//! Declarative spec lives in `doall_bench::experiments` (id `e08`).
 
 fn main() {
-    let seeds = 20;
-    section(
-        "E8",
-        "Theorem 6.2 / Corollary 6.4 (PaRan expected work and messages)",
-        &format!("Mean over {seeds} seeds under the stage-aligned d-adversary vs t·log n + p·min{{t,d}}·log(2+t/d)."),
-    );
-    let mk_algo: Vec<(&str, AlgoFactory)> = vec![
-        ("PaRan1", Box::new(|s| Box::new(PaRan1::new(s)))),
-        ("PaRan2", Box::new(|s| Box::new(PaRan2::new(s)))),
-    ];
-    for (name, algo_for) in &mk_algo {
-        for (p, t) in [(128usize, 128usize), (32, 1024)] {
-            let instance = Instance::new(p, t).unwrap();
-            println!("### {name}, p = {p}, t = {t}\n");
-            let mut table = Table::new(vec![
-                "d",
-                "E[W]",
-                "bound",
-                "E[W]/bound",
-                "E[W]/(p·t)",
-                "E[M]/(p·E[W])",
-            ]);
-            let mut d = 1u64;
-            while d <= t as u64 {
-                let stats = seed_average(instance, seeds, algo_for, |s| {
-                    let _ = s;
-                    Box::new(StageAligned::new(d)) as Box<dyn Adversary>
-                });
-                let bound = pa_upper_bound(p, t, d);
-                table.row(vec![
-                    d.to_string(),
-                    fmt(stats.mean_work),
-                    fmt(bound),
-                    fmt(stats.mean_work / bound),
-                    fmt(stats.mean_work / oblivious_work(p, t)),
-                    fmt(stats.mean_messages / (p as f64 * stats.mean_work)),
-                ]);
-                d *= 4;
-            }
-            table.print();
-            println!();
-        }
-    }
-    println!(
-        "Paper: E[W]/bound sits in a constant band across the sweep; messages stay within p×work."
-    );
+    doall_bench::experiment_main("e08");
 }

@@ -1,58 +1,8 @@
 //! E9 — Theorem 6.3 / Corollary 6.5: PaDet with a (random, Thm 4.4 /
 //! Cor 4.5) schedule list matches the randomized bound deterministically.
 //!
-//! PaDet across the same sweeps as E8, with PaRan1 means overlaid for
-//! comparison.
-
-use doall_algorithms::{Algorithm, PaDet, PaRan1};
-use doall_bench::{fmt, run_once, section, seed_average, Table};
-use doall_bounds::pa_upper_bound;
-use doall_core::Instance;
-use doall_sim::adversary::StageAligned;
-use doall_sim::Adversary;
+//! Declarative spec lives in `doall_bench::experiments` (id `e09`).
 
 fn main() {
-    let seeds = 20;
-    section(
-        "E9",
-        "Theorem 6.3 / Corollary 6.5 (PaDet deterministic work)",
-        "PaDet (fixed Cor-4.5-style list) vs the bound, with PaRan1 seed-means overlaid.",
-    );
-    for (p, t) in [(128usize, 128usize), (32, 1024)] {
-        let instance = Instance::new(p, t).unwrap();
-        let padet = PaDet::random_for(instance, 7);
-        println!("### p = {p}, t = {t}\n");
-        let mut table = Table::new(vec![
-            "d",
-            "PaDet W",
-            "bound",
-            "W/bound",
-            "PaRan1 E[W]",
-            "PaDet/PaRan1",
-        ]);
-        let mut d = 1u64;
-        while d <= t as u64 {
-            let det = run_once(instance, &padet, Box::new(StageAligned::new(d)));
-            let ran = seed_average(
-                instance,
-                seeds,
-                |s| Box::new(PaRan1::new(s)) as Box<dyn Algorithm>,
-                |_| Box::new(StageAligned::new(d)) as Box<dyn Adversary>,
-            );
-            let bound = pa_upper_bound(p, t, d);
-            table.row(vec![
-                d.to_string(),
-                det.work.to_string(),
-                fmt(bound),
-                fmt(det.work as f64 / bound),
-                fmt(ran.mean_work),
-                fmt(det.work as f64 / ran.mean_work),
-            ]);
-            d *= 4;
-        }
-        table.print();
-        println!();
-    }
-    println!("Paper: the deterministic algorithm tracks the randomized one (PaDet/PaRan1 ≈ 1),");
-    println!("confirming that a fixed good list derandomizes the schedule family.");
+    doall_bench::experiment_main("e09");
 }

@@ -1,70 +1,8 @@
 //! E10 — Lemma 6.1: the work of PaDet against any d-adversary is at most
-//! `(d)-Cont(Σ)` of its schedule list.
+//! `(d)-Cont(Σ)` of its schedule list (asserted where the value is exact).
 //!
-//! Small instances (n ≤ 8) use the *exact* `(d)`-contention, making this a
-//! hard inequality check; the large instance reports the sampled estimate
-//! (a lower bound on the true max, so measured/estimate slightly above 1
-//! is still consistent with the lemma).
-
-use doall_algorithms::PaDet;
-use doall_bench::{fmt, run_once, section, Table};
-use doall_core::Instance;
-use doall_perms::{d_contention_of_list, Schedules};
-use doall_sim::adversary::StageAligned;
+//! Declarative spec lives in `doall_bench::experiments` (id `e10`).
 
 fn main() {
-    section(
-        "E10",
-        "Lemma 6.1 (PaDet work ≤ (d)-Cont(Σ))",
-        "Measured work under the stage-aligned d-adversary vs the (d)-contention of the same list.",
-    );
-
-    println!("### Exact check: p = t = 8 (exhaustive (d)-Cont)\n");
-    let p = 8;
-    let t = 8;
-    let instance = Instance::new(p, t).unwrap();
-    let sched = Schedules::random(p, t, 3);
-    let algo = PaDet::new(sched.clone());
-    let mut table = Table::new(vec!["d", "W", "(d)-Cont(Σ) exact", "W ≤ (d)-Cont?"]);
-    for d in [1u64, 2, 4, 8] {
-        let report = run_once(instance, &algo, Box::new(StageAligned::new(d)));
-        let dc = d_contention_of_list(sched.as_slice(), d as usize);
-        assert!(dc.exact);
-        // Small slack: the final tick may charge idle steps of processors
-        // that have not yet learned completion (the lemma counts task
-        // performances; our W also counts those trailing no-op steps).
-        assert!(
-            report.work <= dc.value as u64 + p as u64,
-            "Lemma 6.1 violated at d={d}: {} > {}",
-            report.work,
-            dc.value
-        );
-        table.row(vec![
-            d.to_string(),
-            report.work.to_string(),
-            dc.value.to_string(),
-            "yes".to_string(),
-        ]);
-    }
-    table.print();
-
-    println!("\n### Estimated check: p = t = 64 (sampled (d)-Cont estimate)\n");
-    let p = 64;
-    let t = 64;
-    let instance = Instance::new(p, t).unwrap();
-    let sched = Schedules::random(p, t, 5);
-    let algo = PaDet::new(sched.clone());
-    let mut table = Table::new(vec!["d", "W", "(d)-Cont estimate", "W/estimate"]);
-    for d in [1u64, 4, 16, 64] {
-        let report = run_once(instance, &algo, Box::new(StageAligned::new(d)));
-        let dc = d_contention_of_list(sched.as_slice(), d as usize);
-        table.row(vec![
-            d.to_string(),
-            report.work.to_string(),
-            dc.value.to_string(),
-            fmt(report.work as f64 / dc.value as f64),
-        ]);
-    }
-    table.print();
-    println!("\nPaper: Lemma 6.1 is the bridge from executions to combinatorics — the exact table is a hard pass/fail.");
+    doall_bench::experiment_main("e10");
 }

@@ -1,39 +1,10 @@
 //! E11 — the headline picture: work vs `d` for every algorithm on one
 //! instance, showing who wins where and the crossover into the quadratic
-//! wall at `d ≈ t`.
-
-use doall_bench::{fmt, roster, run_once, section, Table};
-use doall_core::Instance;
-use doall_sim::adversary::StageAligned;
+//! wall at `d ≈ t`. Its smoke grid doubles as CI's full
+//! algorithm × adversary matrix check.
+//!
+//! Declarative spec lives in `doall_bench::experiments` (id `e11`).
 
 fn main() {
-    let p = 256;
-    let t = 256;
-    let instance = Instance::new(p, t).unwrap();
-    let quadratic = (p * t) as f64;
-    section(
-        "E11",
-        "Headline crossover (subquadratic iff d = o(t))",
-        &format!("p = t = {t}; cells are W (ratio to p·t = {quadratic})."),
-    );
-    let algos = roster(instance, 0);
-    let mut headers = vec!["d".to_string()];
-    headers.extend(algos.iter().map(|a| a.name()));
-    let mut table = Table::new(headers);
-    for d in [1u64, 4, 16, 64, 128, 256] {
-        let mut row = vec![d.to_string()];
-        for algo in &algos {
-            let report = run_once(instance, &**algo, Box::new(StageAligned::new(d)));
-            row.push(format!(
-                "{} ({})",
-                report.work,
-                fmt(report.work as f64 / quadratic)
-            ));
-        }
-        table.row(row);
-    }
-    table.print();
-    println!("\nPaper: the cooperative algorithms are subquadratic while d ≪ t; the PA family's");
-    println!("O(t log p + p·d·log(2+t/d)) beats DA's O(t·p^ε + …) for moderate d (its overhead is");
-    println!("logarithmic rather than polynomial), and everything converges to p·t at d ≈ t.");
+    doall_bench::experiment_main("e11");
 }

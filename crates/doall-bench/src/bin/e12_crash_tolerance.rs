@@ -1,60 +1,8 @@
 //! E12 — §1.2's fault-tolerance claim: any crash pattern with at least
 //! one survivor is tolerated, and work degrades gracefully.
 //!
-//! Crash 0%, 50%, and all-but-one of the processors at staggered times and
-//! report work per algorithm.
-
-use doall_bench::{fmt, roster, run_once, section, Table};
-use doall_core::Instance;
-use doall_sim::adversary::{CrashSchedule, RandomDelay};
-use doall_sim::Adversary;
-
-fn adversary(p: usize, fraction_crashed: f64, seed: u64) -> Box<dyn Adversary> {
-    let delays = Box::new(RandomDelay::new(8, seed));
-    if fraction_crashed <= 0.0 {
-        return delays;
-    }
-    let crash_count = ((p as f64 * fraction_crashed) as usize).min(p - 1);
-    // Stagger crashes: processor i dies at tick 5 + 3i.
-    let crash_at: Vec<Option<u64>> = (0..p)
-        .map(|i| (i < crash_count).then(|| 5 + 3 * i as u64))
-        .collect();
-    Box::new(CrashSchedule::new(delays, crash_at))
-}
+//! Declarative spec lives in `doall_bench::experiments` (id `e12`).
 
 fn main() {
-    let p = 32;
-    let t = 256;
-    let instance = Instance::new(p, t).unwrap();
-    section(
-        "E12",
-        "Fault tolerance (§1.2): any crash pattern, ≥ 1 survivor",
-        &format!("p = {p}, t = {t}, random delays ≤ 8; staggered crashes of 0%, 50%, and p−1 processors."),
-    );
-    let mut table = Table::new(vec![
-        "algorithm",
-        "W (no crashes)",
-        "W (50% crash)",
-        "W (all but one)",
-        "worst ratio to p·t",
-    ]);
-    for algo in roster(instance, 0) {
-        let w0 = run_once(instance, &*algo, adversary(p, 0.0, 1)).work;
-        let w50 = run_once(instance, &*algo, adversary(p, 0.5, 1)).work;
-        let w_all = run_once(instance, &*algo, adversary(p, 1.0, 1)).work;
-        let worst = w0.max(w50).max(w_all) as f64 / (p * t) as f64;
-        table.row(vec![
-            algo.name(),
-            w0.to_string(),
-            w50.to_string(),
-            w_all.to_string(),
-            fmt(worst),
-        ]);
-    }
-    table.print();
-    println!(
-        "\nPaper: correctness under any crash pattern with one survivor; note that heavy crashes"
-    );
-    println!("can *reduce* charged work (dead processors stop being charged) while the survivors");
-    println!("slowly finish everything — time stretches, work does not explode.");
+    doall_bench::experiment_main("e12");
 }

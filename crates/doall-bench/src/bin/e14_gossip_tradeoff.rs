@@ -1,65 +1,8 @@
 //! E14 (extension) — the §7 open direction: controlling work and message
-//! complexity *simultaneously*.
+//! complexity *simultaneously* via gossip fanout.
 //!
-//! PaGossip multicasts each job completion to `fanout` random peers
-//! instead of all `p − 1`. Sweeping the fanout maps the work/message
-//! Pareto frontier between SoloAll (no messages, quadratic work) and
-//! PaRan1 (full broadcast, minimal work).
-
-use doall_algorithms::{PaGossip, PaRan1, SoloAll};
-use doall_bench::{fmt, section, seed_average, Table};
-use doall_core::Instance;
-use doall_sim::adversary::StageAligned;
-use doall_sim::Adversary;
+//! Declarative spec lives in `doall_bench::experiments` (id `e14`).
 
 fn main() {
-    let p = 64;
-    let t = 256;
-    let d = 16u64;
-    let seeds = 10;
-    let instance = Instance::new(p, t).unwrap();
-    section(
-        "E14",
-        "Extension (§7): gossip fanout vs the work/message trade-off",
-        &format!("p = {p}, t = {t}, stage-aligned d = {d}; mean over {seeds} seeds."),
-    );
-    let mut table = Table::new(vec!["algorithm", "E[W]", "E[M]", "E[M]/E[W]", "E[W]/(p·t)"]);
-    let mk_adv = move |_s: u64| Box::new(StageAligned::new(d)) as Box<dyn Adversary>;
-
-    let solo = seed_average(instance, 1, |_| Box::new(SoloAll::new()), mk_adv);
-    table.row(vec![
-        "SoloAll (f=0)".to_string(),
-        fmt(solo.mean_work),
-        fmt(solo.mean_messages),
-        fmt(0.0),
-        fmt(solo.mean_work / (p * t) as f64),
-    ]);
-    for fanout in [1usize, 2, 4, 8, 16, 32] {
-        let stats = seed_average(
-            instance,
-            seeds,
-            |s| Box::new(PaGossip::new(s, fanout)),
-            mk_adv,
-        );
-        table.row(vec![
-            format!("PaGossip(f={fanout})"),
-            fmt(stats.mean_work),
-            fmt(stats.mean_messages),
-            fmt(stats.mean_messages / stats.mean_work),
-            fmt(stats.mean_work / (p * t) as f64),
-        ]);
-    }
-    let full = seed_average(instance, seeds, |s| Box::new(PaRan1::new(s)), mk_adv);
-    table.row(vec![
-        "PaRan1 (f=p−1)".to_string(),
-        fmt(full.mean_work),
-        fmt(full.mean_messages),
-        fmt(full.mean_messages / full.mean_work),
-        fmt(full.mean_work / (p * t) as f64),
-    ]);
-    table.print();
-    println!("\nReading: messages grow linearly with fanout while work falls steeply at first");
-    println!("and then flattens — a logarithmic fanout already buys most of the broadcast's");
-    println!("work savings at a tiny fraction of its message cost (the gossip intuition the");
-    println!("paper's §7 points to via Georgiou–Kowalski–Shvartsman).");
+    doall_bench::experiment_main("e14");
 }

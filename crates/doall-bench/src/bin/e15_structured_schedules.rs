@@ -1,55 +1,8 @@
-//! E15 (ablation, §7 open problem) — structured schedule constructions vs
-//! random lists.
+//! E15 (ablation, §7 open problem) — structured schedule constructions
+//! (rotations, affine maps) vs random lists.
 //!
-//! The paper leaves constructing good permutations efficiently as an open
-//! problem. We compare three O(1)-storage candidates on (a) estimated
-//! `(d)`-contention and (b) actual PaDet work:
-//!
-//! * rotations  — same sweep direction, perfectly spread starting points;
-//! * affine maps — distinct strides over a prime modulus;
-//! * random lists — the Theorem 4.4 gold standard.
-
-use doall_algorithms::PaDet;
-use doall_bench::{fmt, run_once, section, Table};
-use doall_core::Instance;
-use doall_perms::structured::{affine_schedules, rotation_schedules};
-use doall_perms::{d_contention_of_list, Schedules};
-use doall_sim::adversary::StageAligned;
+//! Declarative spec lives in `doall_bench::experiments` (id `e15`).
 
 fn main() {
-    // p = t = 67 (prime, so affine maps apply without padding).
-    let n = 67;
-    let instance = Instance::new(n, n).unwrap();
-    section(
-        "E15",
-        "Ablation (§7 open problem): structured vs random schedule lists",
-        &format!("p = t = {n} (prime); estimated (d)-Cont and measured PaDet work per list."),
-    );
-    let lists: Vec<(&str, Schedules)> = vec![
-        ("rotations", rotation_schedules(n, n)),
-        ("affine", affine_schedules(n, n, 3).expect("prime modulus")),
-        ("random", Schedules::random(n, n, 3)),
-    ];
-    for d in [1usize, 8, 32] {
-        println!("### d = {d}\n");
-        let mut table = Table::new(vec!["list", "(d)-Cont estimate", "PaDet W", "W/(p·t)"]);
-        for (label, sched) in &lists {
-            let dc = d_contention_of_list(sched.as_slice(), d);
-            let algo = PaDet::new(sched.clone());
-            let report = run_once(instance, &algo, Box::new(StageAligned::new(d as u64)));
-            table.row(vec![
-                (*label).to_string(),
-                dc.value.to_string(),
-                report.work.to_string(),
-                fmt(report.work as f64 / (n * n) as f64),
-            ]);
-        }
-        table.print();
-        println!();
-    }
-    println!("Reading: rotations' worst-case contention is near-maximal (identical sweep");
-    println!("direction), yet their *measured* work under benign stage-aligned delays is fine —");
-    println!("contention is a worst-case guarantee. Affine lists track random lists on both");
-    println!("counts while needing two words of storage per schedule: a practical answer to");
-    println!("the open problem for the regimes we can measure.");
+    doall_bench::experiment_main("e15");
 }

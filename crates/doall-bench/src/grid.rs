@@ -1,0 +1,600 @@
+//! Declarative scenario grids: algorithm × adversary × (p, t) × d × seed
+//! cross-products, with a parse/render round-trippable textual spec and
+//! deterministic per-cell seeding.
+//!
+//! A [`Grid`] is the unit of experiment description; [`Grid::cells`]
+//! expands it into [`Cell`]s, each of which names everything needed to
+//! reproduce its runs: string keys for the algorithm and adversary (see
+//! [`build_algorithm`] / [`build_adversary`]), the instance shape, the
+//! delay bound `d`, the replicate count, and a cell seed derived purely
+//! from the cell's parameters — never from execution order — so a grid
+//! run on one thread and on sixteen produces bit-identical results.
+
+use doall_algorithms::{Algorithm, Da, ObliDo, PaDet, PaGossip, PaRan1, PaRan2, SoloAll};
+use doall_core::Instance;
+use doall_perms::structured::{affine_schedules, rotation_schedules};
+use doall_perms::{search, Schedules};
+use doall_sim::adversary::{
+    BurstyDelay, CrashSchedule, FixedDelay, LowerBoundAdversary, RandomDelay,
+    RandomizedLbAdversary, StageAligned, UnitDelay,
+};
+use doall_sim::Adversary;
+use std::fmt;
+
+/// Algorithm key that skips simulation: cells carry only derived
+/// (combinatorial) metrics. Used by the pure-contention experiments.
+pub const ALGO_NONE: &str = "none";
+
+/// An error from parsing a grid spec or building a cell's components.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridError(String);
+
+impl fmt::Display for GridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for GridError {}
+
+fn err(msg: impl Into<String>) -> GridError {
+    GridError(msg.into())
+}
+
+/// One point of a grid: a fully specified scenario plus its replicate
+/// count and deterministic seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cell {
+    /// Algorithm key (see [`build_algorithm`]).
+    pub algo: String,
+    /// Adversary key (see [`build_adversary`]).
+    pub adversary: String,
+    /// Processors.
+    pub p: usize,
+    /// Tasks.
+    pub t: usize,
+    /// Delay bound handed to the adversary.
+    pub d: u64,
+    /// Number of replicate runs (seeds `0..seeds`).
+    pub seeds: u64,
+    /// Cell seed, derived from the grid's base seed and the cell's own
+    /// parameters (not its position or execution order).
+    pub cell_seed: u64,
+}
+
+impl Cell {
+    /// The seed of replicate `k` of this cell.
+    #[must_use]
+    pub fn run_seed(&self, k: u64) -> u64 {
+        splitmix64(self.cell_seed ^ k.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// SplitMix64 — the standard seed expander; deterministic and
+/// platform-independent.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over bytes — used to hash cell parameters into the cell seed.
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A declarative scenario grid: the cross-product of every axis.
+///
+/// The textual spec is a space-separated list of `key=value` fields with
+/// comma-separated lists; [`Grid::parse`] and the [`fmt::Display`] impl
+/// round-trip:
+///
+/// ```text
+/// algos=da:3,paran1 advs=stage shapes=32x32,64x256 ds=1,4,16 seeds=5 seed=0
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    /// Algorithm keys.
+    pub algos: Vec<String>,
+    /// Adversary keys.
+    pub adversaries: Vec<String>,
+    /// Instance shapes `(p, t)`.
+    pub shapes: Vec<(usize, usize)>,
+    /// Delay bounds.
+    pub ds: Vec<u64>,
+    /// Replicates per cell.
+    pub seeds: u64,
+    /// Base seed mixed into every cell seed.
+    pub base_seed: u64,
+}
+
+impl Grid {
+    /// Builds a grid from slices (spec-construction helper for the
+    /// experiment registry).
+    #[must_use]
+    pub fn new(
+        algos: &[&str],
+        adversaries: &[&str],
+        shapes: &[(usize, usize)],
+        ds: &[u64],
+        seeds: u64,
+        base_seed: u64,
+    ) -> Self {
+        Self {
+            algos: algos.iter().map(|s| (*s).to_string()).collect(),
+            adversaries: adversaries.iter().map(|s| (*s).to_string()).collect(),
+            shapes: shapes.to_vec(),
+            ds: ds.to_vec(),
+            seeds,
+            base_seed,
+        }
+    }
+
+    /// Parses the textual spec format rendered by [`fmt::Display`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GridError`] for unknown fields, malformed values,
+    /// empty axes, or unknown algorithm/adversary keys.
+    pub fn parse(spec: &str) -> Result<Self, GridError> {
+        let mut algos: Option<Vec<String>> = None;
+        let mut adversaries: Option<Vec<String>> = None;
+        let mut shapes: Option<Vec<(usize, usize)>> = None;
+        let mut ds: Option<Vec<u64>> = None;
+        let mut seeds = 1u64;
+        let mut base_seed = 0u64;
+        for field in spec.split_whitespace() {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| err(format!("grid field `{field}` is not key=value")))?;
+            match key {
+                "algos" => algos = Some(value.split(',').map(str::to_string).collect()),
+                "advs" => adversaries = Some(value.split(',').map(str::to_string).collect()),
+                "shapes" => {
+                    let mut parsed = Vec::new();
+                    for shape in value.split(',') {
+                        let (p, t) = shape
+                            .split_once('x')
+                            .ok_or_else(|| err(format!("shape `{shape}` is not PxT")))?;
+                        let p: usize = p
+                            .parse()
+                            .map_err(|_| err(format!("shape `{shape}`: bad processor count")))?;
+                        let t: usize = t
+                            .parse()
+                            .map_err(|_| err(format!("shape `{shape}`: bad task count")))?;
+                        if p == 0 || t == 0 {
+                            return Err(err(format!("shape `{shape}` must be positive")));
+                        }
+                        parsed.push((p, t));
+                    }
+                    shapes = Some(parsed);
+                }
+                "ds" => {
+                    let mut parsed = Vec::new();
+                    for d in value.split(',') {
+                        let d: u64 = d
+                            .parse()
+                            .map_err(|_| err(format!("d `{d}` is not a positive integer")))?;
+                        if d == 0 {
+                            return Err(err("d must be at least 1"));
+                        }
+                        parsed.push(d);
+                    }
+                    ds = Some(parsed);
+                }
+                "seeds" => {
+                    seeds = value
+                        .parse()
+                        .map_err(|_| err(format!("seeds `{value}` is not a number")))?;
+                    if seeds == 0 {
+                        return Err(err("seeds must be at least 1"));
+                    }
+                }
+                "seed" => {
+                    base_seed = value
+                        .parse()
+                        .map_err(|_| err(format!("seed `{value}` is not a number")))?;
+                }
+                other => return Err(err(format!("unknown grid field `{other}`"))),
+            }
+        }
+        let grid = Self {
+            algos: algos.ok_or_else(|| err("grid needs algos=..."))?,
+            adversaries: adversaries.unwrap_or_else(|| vec!["stage".to_string()]),
+            shapes: shapes.ok_or_else(|| err("grid needs shapes=PxT,..."))?,
+            ds: ds.unwrap_or_else(|| vec![1]),
+            seeds,
+            base_seed,
+        };
+        grid.validate()?;
+        Ok(grid)
+    }
+
+    /// Checks every key and axis without running anything.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`GridError`] naming the first bad key or empty axis.
+    pub fn validate(&self) -> Result<(), GridError> {
+        if self.algos.is_empty() || self.adversaries.is_empty() {
+            return Err(err("grid axes must be non-empty"));
+        }
+        if self.shapes.is_empty() || self.ds.is_empty() {
+            return Err(err("grid needs at least one shape and one d"));
+        }
+        if self.seeds == 0 {
+            return Err(err("seeds must be at least 1"));
+        }
+        for key in &self.algos {
+            validate_algo_key(key)?;
+        }
+        for key in &self.adversaries {
+            validate_adversary_key(key)?;
+        }
+        Ok(())
+    }
+
+    /// Expands the cross-product into cells, in canonical order
+    /// (algorithm-major, then adversary, shape, d).
+    #[must_use]
+    pub fn cells(&self) -> Vec<Cell> {
+        let mut out = Vec::new();
+        for algo in &self.algos {
+            for adversary in &self.adversaries {
+                for &(p, t) in &self.shapes {
+                    for &d in &self.ds {
+                        let mut h = fnv1a(algo.as_bytes(), 0xcbf2_9ce4_8422_2325);
+                        h = fnv1a(adversary.as_bytes(), h);
+                        h = fnv1a(&(p as u64).to_le_bytes(), h);
+                        h = fnv1a(&(t as u64).to_le_bytes(), h);
+                        h = fnv1a(&d.to_le_bytes(), h);
+                        out.push(Cell {
+                            algo: algo.clone(),
+                            adversary: adversary.clone(),
+                            p,
+                            t,
+                            d,
+                            seeds: self.seeds,
+                            cell_seed: splitmix64(h ^ self.base_seed),
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for Grid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let shapes: Vec<String> = self
+            .shapes
+            .iter()
+            .map(|(p, t)| format!("{p}x{t}"))
+            .collect();
+        let ds: Vec<String> = self.ds.iter().map(u64::to_string).collect();
+        write!(
+            f,
+            "algos={} advs={} shapes={} ds={} seeds={} seed={}",
+            self.algos.join(","),
+            self.adversaries.join(","),
+            shapes.join(","),
+            ds.join(","),
+            self.seeds,
+            self.base_seed
+        )
+    }
+}
+
+/// Validates an algorithm key without building it (no instance needed).
+///
+/// # Errors
+///
+/// Returns a [`GridError`] for an unknown key or bad parameter.
+pub fn validate_algo_key(key: &str) -> Result<(), GridError> {
+    if let Some(q) = key.strip_prefix("da:") {
+        let q: usize = q
+            .parse()
+            .map_err(|_| err(format!("da:<q>: `{q}` is not a number")))?;
+        if !(2..=8).contains(&q) {
+            return Err(err("da:<q> supports 2 ≤ q ≤ 8 (certified schedule search)"));
+        }
+        return Ok(());
+    }
+    if let Some(fanout) = key.strip_prefix("gossip:") {
+        let fanout: usize = fanout
+            .parse()
+            .map_err(|_| err(format!("gossip:<fanout>: `{fanout}` is not a number")))?;
+        if fanout == 0 {
+            return Err(err("gossip fanout must be at least 1"));
+        }
+        return Ok(());
+    }
+    match key {
+        "soloall" | "oblido" | "oblido-searched" | "oblido-worst" | "paran1" | "paran2"
+        | "padet" | "padet-rot" | "padet-affine" | ALGO_NONE => Ok(()),
+        other => Err(err(format!("unknown algorithm `{other}`"))),
+    }
+}
+
+/// Validates an adversary key without building it.
+///
+/// # Errors
+///
+/// Returns a [`GridError`] for an unknown key or bad parameter.
+pub fn validate_adversary_key(key: &str) -> Result<(), GridError> {
+    if let Some(pct) = key.strip_prefix("crash:") {
+        let pct: u64 = pct
+            .parse()
+            .map_err(|_| err(format!("crash:<pct>: `{pct}` is not a number")))?;
+        if pct > 100 {
+            return Err(err("crash:<pct> takes a percentage 0–100"));
+        }
+        return Ok(());
+    }
+    match key {
+        "unit" | "fixed" | "random" | "stage" | "bursty" | "lb" | "lbrand" => Ok(()),
+        other => Err(err(format!("unknown adversary `{other}`"))),
+    }
+}
+
+/// Builds the schedule list an algorithm key implies, when it has one —
+/// used by experiments whose derived metrics (contention, `(d)`-Cont)
+/// refer to the very list the algorithm ran with.
+#[must_use]
+pub fn schedules_for_algo(key: &str, instance: Instance, seed: u64) -> Option<Schedules> {
+    let n = instance.units();
+    match key {
+        "oblido" => Some(Schedules::random(n, n, seed)),
+        "oblido-searched" => Some(search::low_contention_list(n, seed).0),
+        "oblido-worst" => Some(Schedules::worst(n, n)),
+        "padet" => Some(PaDet::random_for(instance, seed).schedules().clone()),
+        "padet-rot" => Some(rotation_schedules(instance.processors(), instance.tasks())),
+        "padet-affine" => affine_schedules(instance.processors(), instance.tasks(), seed).ok(),
+        _ => None,
+    }
+}
+
+/// Builds the algorithm named by `key` for `instance`, deriving any
+/// randomness from `seed`.
+///
+/// Keys: `soloall`, `oblido` (random list), `oblido-searched` (certified
+/// low-contention list), `oblido-worst` (identical permutations),
+/// `da:<q>`, `paran1`, `paran2`, `padet` (random list), `padet-rot`
+/// (rotations), `padet-affine` (affine maps; requires prime `t`),
+/// `gossip:<fanout>`, and `none` (skip simulation).
+///
+/// # Errors
+///
+/// Returns a [`GridError`] for an unknown key, a bad parameter, or a key
+/// whose preconditions the instance does not meet (e.g. `padet-affine`
+/// over a composite task count).
+pub fn build_algorithm(
+    key: &str,
+    instance: Instance,
+    seed: u64,
+) -> Result<Box<dyn Algorithm>, GridError> {
+    validate_algo_key(key)?;
+    if let Some(q) = key.strip_prefix("da:") {
+        let q: usize = q.parse().expect("validated");
+        return Ok(Box::new(Da::with_default_schedules(q, seed)));
+    }
+    if let Some(fanout) = key.strip_prefix("gossip:") {
+        let fanout: usize = fanout.parse().expect("validated");
+        return Ok(Box::new(PaGossip::new(seed, fanout)));
+    }
+    Ok(match key {
+        "soloall" => Box::new(SoloAll::new()),
+        "oblido" | "oblido-searched" | "oblido-worst" => Box::new(ObliDo::new(
+            schedules_for_algo(key, instance, seed).expect("oblido keys carry schedules"),
+        )),
+        "paran1" => Box::new(PaRan1::new(seed)),
+        "paran2" => Box::new(PaRan2::new(seed)),
+        "padet" => Box::new(PaDet::random_for(instance, seed)),
+        "padet-rot" => Box::new(PaDet::new(
+            schedules_for_algo(key, instance, seed).expect("rotations always exist"),
+        )),
+        "padet-affine" => Box::new(PaDet::new(
+            schedules_for_algo(key, instance, seed)
+                .ok_or_else(|| err("padet-affine requires a prime task count"))?,
+        )),
+        ALGO_NONE => return Err(err("algorithm `none` skips simulation; nothing to build")),
+        _ => unreachable!("validated"),
+    })
+}
+
+/// Builds the adversary named by `key` with delay bound `d` for a
+/// `(p, t)` instance, deriving any randomness from `seed`.
+///
+/// Keys: `unit`, `fixed`, `random`, `stage`, `bursty`, `lb` (Theorem 3.1
+/// dry-run adversary), `lbrand` (Theorem 3.4 delay-on-touch), and
+/// `crash:<pct>` (random delays ≤ `d` plus staggered crashes of `pct`%
+/// of the processors, capped at `p − 1` so one survivor remains).
+///
+/// # Errors
+///
+/// Returns a [`GridError`] for an unknown key or bad parameter.
+pub fn build_adversary(
+    key: &str,
+    p: usize,
+    t: usize,
+    d: u64,
+    seed: u64,
+) -> Result<Box<dyn Adversary>, GridError> {
+    validate_adversary_key(key)?;
+    if let Some(pct) = key.strip_prefix("crash:") {
+        let pct: u64 = pct.parse().expect("validated");
+        let delays = Box::new(RandomDelay::new(d, seed));
+        if pct == 0 {
+            return Ok(delays);
+        }
+        let crash_count = ((p as u64 * pct / 100) as usize).min(p - 1);
+        // Stagger crashes: processor i dies at tick 5 + 3i.
+        let crash_at: Vec<Option<u64>> = (0..p)
+            .map(|i| (i < crash_count).then(|| 5 + 3 * i as u64))
+            .collect();
+        return Ok(Box::new(CrashSchedule::new(delays, crash_at)));
+    }
+    Ok(match key {
+        "unit" => Box::new(UnitDelay),
+        "fixed" => Box::new(FixedDelay::new(d)),
+        "random" => Box::new(RandomDelay::new(d, seed)),
+        "stage" => Box::new(StageAligned::new(d)),
+        "bursty" => Box::new(BurstyDelay::new(d, (d / 2).max(1))),
+        "lb" => Box::new(LowerBoundAdversary::new(d, t)),
+        "lbrand" => Box::new(RandomizedLbAdversary::new(d, t, seed)),
+        _ => unreachable!("validated"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_parse_display_round_trips() {
+        let specs = [
+            "algos=da:3,paran1 advs=stage,unit shapes=32x32,64x256 ds=1,4,16 seeds=5 seed=0",
+            "algos=soloall advs=crash:50 shapes=8x8 ds=2 seeds=1 seed=42",
+            "algos=none advs=unit shapes=8x64 ds=1,4 seeds=3 seed=7",
+        ];
+        for spec in specs {
+            let grid = Grid::parse(spec).unwrap();
+            assert_eq!(grid.to_string(), spec, "canonical spec round-trips");
+            assert_eq!(Grid::parse(&grid.to_string()).unwrap(), grid);
+        }
+    }
+
+    #[test]
+    fn grid_parse_defaults() {
+        let grid = Grid::parse("algos=paran1 shapes=4x8").unwrap();
+        assert_eq!(grid.adversaries, vec!["stage"]);
+        assert_eq!(grid.ds, vec![1]);
+        assert_eq!(grid.seeds, 1);
+        assert_eq!(grid.base_seed, 0);
+    }
+
+    #[test]
+    fn grid_parse_rejects_garbage() {
+        for bad in [
+            "algos=paran1",                            // no shapes
+            "shapes=4x8",                              // no algos
+            "algos=paran1 shapes=4",                   // bad shape
+            "algos=paran1 shapes=0x8",                 // zero p
+            "algos=paran1 shapes=4x8 ds=0",            // zero d
+            "algos=paran1 shapes=4x8 seeds=0",         // zero seeds
+            "algos=paran1 shapes=4x8 frob=1",          // unknown field
+            "algos=paran1 shapes=4x8 ds",              // not key=value
+            "algos=frobnicate shapes=4x8",             // unknown algo
+            "algos=paran1 advs=frobnicate shapes=4x8", // unknown adversary
+            "algos=da:99 shapes=4x8",                  // q out of range
+            "algos=gossip:0 shapes=4x8",               // zero fanout
+            "algos=paran1 advs=crash:101 shapes=4x8",  // pct > 100
+        ] {
+            assert!(Grid::parse(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn cells_expand_the_cross_product_in_canonical_order() {
+        let grid = Grid::parse("algos=paran1,soloall advs=stage shapes=4x8 ds=1,2 seeds=2 seed=0")
+            .unwrap();
+        let cells = grid.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].algo, "paran1");
+        assert_eq!(cells[0].d, 1);
+        assert_eq!(cells[1].d, 2);
+        assert_eq!(cells[2].algo, "soloall");
+        assert!(cells.iter().all(|c| c.seeds == 2));
+    }
+
+    #[test]
+    fn cell_seeds_depend_on_parameters_not_position() {
+        let a =
+            Grid::parse("algos=paran1,soloall advs=stage shapes=4x8 ds=1 seeds=1 seed=9").unwrap();
+        let b =
+            Grid::parse("algos=soloall,paran1 advs=stage shapes=4x8 ds=1 seeds=1 seed=9").unwrap();
+        let find =
+            |cells: &[Cell], algo: &str| cells.iter().find(|c| c.algo == algo).unwrap().cell_seed;
+        let (ca, cb) = (a.cells(), b.cells());
+        assert_eq!(find(&ca, "paran1"), find(&cb, "paran1"));
+        assert_eq!(find(&ca, "soloall"), find(&cb, "soloall"));
+        assert_ne!(find(&ca, "paran1"), find(&ca, "soloall"));
+    }
+
+    #[test]
+    fn run_seeds_differ_per_replicate_but_are_stable() {
+        let cell = Grid::parse("algos=paran1 shapes=4x8 seeds=3")
+            .unwrap()
+            .cells()
+            .remove(0);
+        assert_ne!(cell.run_seed(0), cell.run_seed(1));
+        assert_eq!(cell.run_seed(2), cell.run_seed(2));
+    }
+
+    #[test]
+    fn builds_every_documented_key() {
+        let instance = Instance::new(5, 5).unwrap();
+        for key in [
+            "soloall",
+            "oblido",
+            "oblido-searched",
+            "oblido-worst",
+            "da:2",
+            // da:5..=8 are valid too but their certified schedule search is
+            // too slow for a debug-mode unit test; CI's release smoke run
+            // exercises them via e13.
+            "da:4",
+            "paran1",
+            "paran2",
+            "padet",
+            "padet-rot",
+            "padet-affine",
+            "gossip:2",
+        ] {
+            assert!(build_algorithm(key, instance, 1).is_ok(), "{key}");
+        }
+        for key in [
+            "unit",
+            "fixed",
+            "random",
+            "stage",
+            "bursty",
+            "lb",
+            "lbrand",
+            "crash:0",
+            "crash:50",
+            "crash:100",
+        ] {
+            assert!(build_adversary(key, 5, 5, 2, 1).is_ok(), "{key}");
+        }
+    }
+
+    #[test]
+    fn none_key_validates_but_does_not_build() {
+        assert!(validate_algo_key(ALGO_NONE).is_ok());
+        let instance = Instance::new(2, 2).unwrap();
+        assert!(build_algorithm(ALGO_NONE, instance, 0).is_err());
+    }
+
+    #[test]
+    fn padet_affine_requires_prime_tasks() {
+        let composite = Instance::new(4, 8).unwrap();
+        assert!(build_algorithm("padet-affine", composite, 0).is_err());
+        let prime = Instance::new(4, 7).unwrap();
+        assert!(build_algorithm("padet-affine", prime, 0).is_ok());
+    }
+
+    #[test]
+    fn crash_adversary_leaves_a_survivor() {
+        // crash:100 on p=1 must not try to crash everyone.
+        assert!(build_adversary("crash:100", 1, 4, 2, 0).is_ok());
+    }
+}

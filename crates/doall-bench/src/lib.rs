@@ -1,17 +1,35 @@
-//! Shared harness for the experiment binaries (E1–E12 in DESIGN.md):
-//! Markdown table printing, seed-averaged runs, and the standard
-//! algorithm roster.
+//! The experiment harness: declarative scenario grids, a parallel sweep
+//! engine, machine-readable results, and the registry that defines every
+//! `e01`–`e15` experiment.
 //!
-//! Each experiment is a binary under `src/bin/`; run them all with
-//! `cargo run --release -p doall-bench --bin all_experiments` to
-//! regenerate the tables recorded in EXPERIMENTS.md.
+//! Each experiment is a thin binary under `src/bin/` that calls
+//! [`experiment_main`]; `all_experiments` runs the whole registry
+//! in-process via [`suite_main`]. All binaries share the same flags
+//! (`--smoke`, `--json`, `--csv`, `--threads N`, `--out PATH`,
+//! `--max-ticks N`) — see [`output::FLAGS_USAGE`].
+//!
+//! ```text
+//! cargo run --release -p doall-bench --bin all_experiments            # full tables
+//! cargo run --release -p doall-bench --bin all_experiments -- \
+//!     --smoke --json --out bench-smoke.json                          # the CI artifact
+//! ```
+//!
+//! The module split mirrors the pipeline: [`grid`] (what to run) →
+//! [`sweep`] (run it, in parallel, deterministically) → [`output`]
+//! (tables / JSON / CSV), with [`experiments`] holding the specs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use doall_algorithms::{Algorithm, Da, PaDet, PaRan1, PaRan2, SoloAll};
-use doall_core::{Instance, RunReport};
-use doall_sim::{Adversary, Simulation};
+pub mod experiments;
+pub mod grid;
+pub mod output;
+pub mod sweep;
+
+pub use experiments::{by_id, experiment_main, registry, run_experiment, suite_main, Experiment};
+pub use grid::{Cell, Grid, GridError};
+pub use output::{Flags, Format, Record, ResultSet, SCHEMA_VERSION};
+pub use sweep::{run_cells, CellMeasurement, SweepConfig, SweepError};
 
 /// A Markdown table accumulated row by row and printed to stdout.
 #[derive(Debug, Default)]
@@ -66,88 +84,6 @@ impl Table {
     }
 }
 
-/// Summary statistics of a set of runs.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct Stats {
-    /// Mean work across the runs.
-    pub mean_work: f64,
-    /// Maximum work across the runs.
-    pub max_work: u64,
-    /// Mean message count across the runs.
-    pub mean_messages: f64,
-    /// Number of runs aggregated.
-    pub runs: usize,
-}
-
-/// Runs `algo_for(seed)` against `adversary_for(seed)` for each seed in
-/// `0..seeds`, asserting completion, and aggregates work/messages.
-///
-/// # Panics
-///
-/// Panics if `seeds == 0` or any run fails to complete (experiments must
-/// not silently average over broken executions).
-#[must_use]
-pub fn seed_average(
-    instance: Instance,
-    seeds: u64,
-    algo_for: impl Fn(u64) -> Box<dyn Algorithm>,
-    adversary_for: impl Fn(u64) -> Box<dyn Adversary>,
-) -> Stats {
-    assert!(seeds > 0, "need at least one seed");
-    let mut total_work = 0u64;
-    let mut max_work = 0u64;
-    let mut total_msgs = 0u64;
-    for seed in 0..seeds {
-        let report = run_once(instance, &*algo_for(seed), adversary_for(seed));
-        total_work += report.work;
-        max_work = max_work.max(report.work);
-        total_msgs += report.messages;
-    }
-    Stats {
-        mean_work: total_work as f64 / seeds as f64,
-        max_work,
-        mean_messages: total_msgs as f64 / seeds as f64,
-        runs: seeds as usize,
-    }
-}
-
-/// Runs one execution to completion and returns the report.
-///
-/// # Panics
-///
-/// Panics if the run does not complete within the generous tick budget.
-#[must_use]
-pub fn run_once(
-    instance: Instance,
-    algo: &dyn Algorithm,
-    adversary: Box<dyn Adversary>,
-) -> RunReport {
-    let report = Simulation::new(instance, algo.spawn(instance), adversary)
-        .max_ticks(50_000_000)
-        .run();
-    assert!(
-        report.completed,
-        "{} failed to complete on p={} t={}: {report}",
-        algo.name(),
-        instance.processors(),
-        instance.tasks()
-    );
-    report
-}
-
-/// The standard roster used by the sweep experiments.
-#[must_use]
-pub fn roster(instance: Instance, seed: u64) -> Vec<Box<dyn Algorithm>> {
-    vec![
-        Box::new(SoloAll::new()),
-        Box::new(Da::with_default_schedules(2, seed)),
-        Box::new(Da::with_default_schedules(3, seed)),
-        Box::new(PaRan1::new(seed)),
-        Box::new(PaRan2::new(seed)),
-        Box::new(PaDet::random_for(instance, seed)),
-    ]
-}
-
 /// Prints an experiment header in the format EXPERIMENTS.md collates.
 pub fn section(id: &str, reproduces: &str, setup: &str) {
     println!("\n## {id} — {reproduces}\n");
@@ -169,7 +105,6 @@ pub fn fmt(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use doall_sim::adversary::UnitDelay;
 
     #[test]
     fn table_roundtrip() {
@@ -186,29 +121,9 @@ mod tests {
     }
 
     #[test]
-    fn seed_average_aggregates() {
-        let instance = Instance::new(2, 6).unwrap();
-        let stats = seed_average(
-            instance,
-            3,
-            |s| Box::new(PaRan1::new(s)),
-            |_| Box::new(UnitDelay),
-        );
-        assert_eq!(stats.runs, 3);
-        assert!(stats.mean_work >= 6.0);
-        assert!(stats.max_work as f64 >= stats.mean_work);
-    }
-
-    #[test]
     fn fmt_scales() {
         assert_eq!(fmt(0.5), "0.500");
         assert_eq!(fmt(42.123), "42.1");
         assert_eq!(fmt(12345.6), "12346");
-    }
-
-    #[test]
-    fn roster_has_six_algorithms() {
-        let instance = Instance::new(4, 8).unwrap();
-        assert_eq!(roster(instance, 0).len(), 6);
     }
 }

@@ -1,0 +1,430 @@
+//! Machine-readable sweep results (JSON / CSV) plus the shared
+//! command-line flags every experiment binary understands.
+//!
+//! The JSON writer is deliberately deterministic: records keep cell
+//! order, metric maps are `BTreeMap`s (sorted keys), floats print via
+//! Rust's shortest-round-trip `Display`, and nothing time- or
+//! machine-dependent (timestamps, thread counts, durations) is ever
+//! serialized. Byte-identical output across thread counts is a tested
+//! invariant, and the committed `BENCH_sweep.json` baseline stays stable
+//! across machines.
+
+use crate::grid::Cell;
+use crate::Table;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Version of the JSON schema; bump on breaking layout changes so CI's
+/// baseline diff fails loudly instead of drifting.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// One row of results: a cell plus its (measured and derived) metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    /// Experiment id (`"e01"` … `"e15"`, or `"sweep"` for ad-hoc grids).
+    pub experiment: String,
+    /// The scenario the metrics describe.
+    pub cell: Cell,
+    /// Named metrics, sorted by name (mean/median/max work & messages,
+    /// completion counts, bounds, ratios, execution profiles, …).
+    pub metrics: BTreeMap<String, f64>,
+}
+
+/// A full sweep's records plus the mode that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// `"smoke"`, `"full"`, or `"custom"` (CLI grids).
+    pub mode: String,
+    /// All records, in cell order.
+    pub records: Vec<Record>,
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        // JSON has no NaN/Infinity; null keeps the key visible.
+        "null".to_string()
+    }
+}
+
+impl ResultSet {
+    /// Renders the set as deterministic, pretty-printed JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
+        let _ = writeln!(out, "  \"generator\": \"doall-bench sweep harness\",");
+        let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(&self.mode));
+        out.push_str("  \"records\": [\n");
+        for (i, r) in self.records.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"experiment\": \"{}\", \"algo\": \"{}\", \"adversary\": \"{}\", \
+                 \"p\": {}, \"t\": {}, \"d\": {}, \"seeds\": {}, \"metrics\": {{",
+                json_escape(&r.experiment),
+                json_escape(&r.cell.algo),
+                json_escape(&r.cell.adversary),
+                r.cell.p,
+                r.cell.t,
+                r.cell.d,
+                r.cell.seeds,
+            );
+            for (j, (name, value)) in r.metrics.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}\"{}\": {}",
+                    if j == 0 { "" } else { ", " },
+                    json_escape(name),
+                    json_number(*value)
+                );
+            }
+            out.push_str("}}");
+            out.push_str(if i + 1 == self.records.len() {
+                "\n"
+            } else {
+                ",\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Renders the set as long-format CSV: one row per (cell, metric).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("experiment,algo,adversary,p,t,d,seeds,metric,value\n");
+        for r in &self.records {
+            for (name, value) in &r.metrics {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{},{},{}",
+                    r.experiment,
+                    r.cell.algo,
+                    r.cell.adversary,
+                    r.cell.p,
+                    r.cell.t,
+                    r.cell.d,
+                    r.cell.seeds,
+                    name,
+                    json_number(*value)
+                );
+            }
+        }
+        out
+    }
+
+    /// Prints one Markdown table per experiment (records grouped in
+    /// order, metric columns the sorted union within each group).
+    pub fn print_tables(&self) {
+        let mut i = 0;
+        while i < self.records.len() {
+            let exp = &self.records[i].experiment;
+            let mut j = i;
+            while j < self.records.len() && &self.records[j].experiment == exp {
+                j += 1;
+            }
+            let group = &self.records[i..j];
+            let metric_names: BTreeSet<&String> =
+                group.iter().flat_map(|r| r.metrics.keys()).collect();
+            let mut headers = vec![
+                "algo".to_string(),
+                "adversary".to_string(),
+                "p".to_string(),
+                "t".to_string(),
+                "d".to_string(),
+            ];
+            headers.extend(metric_names.iter().map(|s| (*s).clone()));
+            let mut table = Table::new(headers);
+            for r in group {
+                let mut row = vec![
+                    r.cell.algo.clone(),
+                    r.cell.adversary.clone(),
+                    r.cell.p.to_string(),
+                    r.cell.t.to_string(),
+                    r.cell.d.to_string(),
+                ];
+                for name in &metric_names {
+                    row.push(match r.metrics.get(*name) {
+                        Some(v) => crate::fmt(*v),
+                        None => "—".to_string(),
+                    });
+                }
+                table.row(row);
+            }
+            table.print();
+            println!();
+            i = j;
+        }
+    }
+}
+
+/// Output format selected by the shared flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Format {
+    /// Human-readable Markdown tables (the default).
+    #[default]
+    Table,
+    /// Deterministic JSON (see [`ResultSet::to_json`]).
+    Json,
+    /// Long-format CSV.
+    Csv,
+}
+
+/// The flags every experiment binary shares.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Flags {
+    /// Run the tiny smoke grid instead of the full one.
+    pub smoke: bool,
+    /// Output format.
+    pub format: Format,
+    /// Write output here instead of stdout.
+    pub out: Option<String>,
+    /// Worker threads (default: available parallelism).
+    pub threads: Option<usize>,
+    /// Tick cutoff override.
+    pub max_ticks: Option<u64>,
+    /// Restrict `all_experiments` to these ids.
+    pub only: Option<Vec<String>>,
+}
+
+/// Usage text for the shared experiment flags.
+pub const FLAGS_USAGE: &str = "\
+Shared experiment flags:
+  --smoke          run the tiny smoke grid instead of the full grid
+  --json           emit machine-readable JSON (deterministic; CI baseline format)
+  --csv            emit long-format CSV (one row per cell × metric)
+  --out PATH       write output to PATH instead of stdout
+  --threads N      worker threads (default: available parallelism)
+  --max-ticks N    per-run tick cutoff override
+  --only e05,e11   (all_experiments) run only the listed experiment ids
+  --help           print this help
+";
+
+/// Parses the shared flags from an argument vector (without the program
+/// name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown flags, missing values,
+/// or conflicting formats (`--json` with `--csv`). The special value
+/// `"help"` is returned when `--help` was requested.
+pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--smoke" => flags.smoke = true,
+            "--json" => {
+                if flags.format == Format::Csv {
+                    return Err("--json conflicts with --csv".to_string());
+                }
+                flags.format = Format::Json;
+            }
+            "--csv" => {
+                if flags.format == Format::Json {
+                    return Err("--json conflicts with --csv".to_string());
+                }
+                flags.format = Format::Csv;
+            }
+            "--out" => flags.out = Some(value()?),
+            "--threads" => {
+                let n: usize = value()?
+                    .parse()
+                    .map_err(|_| "--threads needs a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                flags.threads = Some(n);
+            }
+            "--max-ticks" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|_| "--max-ticks needs a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--max-ticks must be at least 1".to_string());
+                }
+                flags.max_ticks = Some(n);
+            }
+            "--only" => {
+                flags.only = Some(value()?.split(',').map(str::to_string).collect());
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other => return Err(format!("unknown flag {other}; try --help")),
+        }
+    }
+    // `--out` without an explicit format means JSON: a file of Markdown
+    // tables is never what CI wants.
+    if flags.out.is_some() && flags.format == Format::Table {
+        flags.format = Format::Json;
+    }
+    Ok(flags)
+}
+
+/// Renders the chosen format and delivers it to stdout or `--out`.
+///
+/// # Errors
+///
+/// Returns a message if the output file cannot be written.
+pub fn emit(results: &ResultSet, flags: &Flags) -> Result<(), String> {
+    let rendered = match flags.format {
+        Format::Table => {
+            results.print_tables();
+            return Ok(());
+        }
+        Format::Json => results.to_json(),
+        Format::Csv => results.to_csv(),
+    };
+    match &flags.out {
+        Some(path) => {
+            std::fs::write(path, rendered).map_err(|e| format!("cannot write {path}: {e}"))
+        }
+        None => {
+            print!("{rendered}");
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(exp: &str, algo: &str, d: u64, work: f64) -> Record {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("mean_work".to_string(), work);
+        metrics.insert("ratio".to_string(), work / 64.0);
+        Record {
+            experiment: exp.to_string(),
+            cell: Cell {
+                algo: algo.to_string(),
+                adversary: "stage".to_string(),
+                p: 4,
+                t: 16,
+                d,
+                seeds: 2,
+                cell_seed: 7,
+            },
+            metrics,
+        }
+    }
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let set = ResultSet {
+            mode: "smoke".to_string(),
+            records: vec![
+                record("e01", "soloall", 1, 64.0),
+                record("e01", "da:3", 2, 40.5),
+            ],
+        };
+        let a = set.to_json();
+        let b = set.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"schema_version\": 1"));
+        assert!(a.contains("\"mean_work\": 40.5"));
+        assert!(a.contains("\"algo\": \"da:3\""));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+        assert_eq!(a.matches('[').count(), a.matches(']').count());
+    }
+
+    #[test]
+    fn json_handles_non_finite_and_escapes() {
+        let mut r = record("e01", "a\"b", 1, 1.0);
+        r.metrics.insert("bad".to_string(), f64::NAN);
+        let set = ResultSet {
+            mode: "full".to_string(),
+            records: vec![r],
+        };
+        let json = set.to_json();
+        assert!(json.contains("\\\"")); // escaped quote
+        assert!(json.contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn csv_has_one_row_per_metric() {
+        let set = ResultSet {
+            mode: "smoke".to_string(),
+            records: vec![record("e01", "soloall", 1, 64.0)],
+        };
+        let csv = set.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 metrics");
+        assert_eq!(
+            lines[0],
+            "experiment,algo,adversary,p,t,d,seeds,metric,value"
+        );
+        assert!(lines[1].starts_with("e01,soloall,stage,4,16,1,2,mean_work,"));
+    }
+
+    #[test]
+    fn flags_parse_and_default() {
+        let args = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        let f = parse_flags(&args("--smoke --json --threads 4 --out x.json")).unwrap();
+        assert!(f.smoke);
+        assert_eq!(f.format, Format::Json);
+        assert_eq!(f.threads, Some(4));
+        assert_eq!(f.out.as_deref(), Some("x.json"));
+        assert_eq!(parse_flags(&[]).unwrap(), Flags::default());
+        // --out implies JSON when no format given.
+        assert_eq!(
+            parse_flags(&args("--out y.json")).unwrap().format,
+            Format::Json
+        );
+        // --only splits.
+        assert_eq!(
+            parse_flags(&args("--only e01,e05")).unwrap().only,
+            Some(vec!["e01".to_string(), "e05".to_string()])
+        );
+    }
+
+    #[test]
+    fn flags_reject_conflicts_and_garbage() {
+        let args = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        assert!(parse_flags(&args("--json --csv")).is_err());
+        assert!(parse_flags(&args("--csv --json")).is_err());
+        assert!(parse_flags(&args("--threads 0")).is_err());
+        assert!(parse_flags(&args("--threads many")).is_err());
+        assert!(parse_flags(&args("--max-ticks 0")).is_err());
+        assert!(parse_flags(&args("--out")).is_err());
+        assert!(parse_flags(&args("--frobnicate")).is_err());
+        assert_eq!(parse_flags(&args("--help")).unwrap_err(), "help");
+    }
+
+    #[test]
+    fn tables_print_without_panicking() {
+        let set = ResultSet {
+            mode: "smoke".to_string(),
+            records: vec![
+                record("e01", "soloall", 1, 64.0),
+                record("e02", "da:3", 2, 9.0),
+            ],
+        };
+        set.print_tables();
+    }
+}

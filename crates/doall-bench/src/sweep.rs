@@ -1,0 +1,354 @@
+//! The parallel sweep engine: executes the cells of one or more grids
+//! across a scoped thread pool, with results slotted by cell index so the
+//! output is bit-identical regardless of thread count.
+//!
+//! Work distribution is a shared atomic cursor over the cell list — each
+//! worker claims the next unclaimed cell, runs its full replicate batch
+//! via [`Simulation::run_batch`], and writes the measurement into its
+//! slot. Because every seed is derived from the cell's own parameters
+//! (see [`crate::grid::Cell::run_seed`]), neither the claim order nor the
+//! worker count can influence a single number in the results.
+
+use crate::grid::{build_adversary, build_algorithm, Cell, GridError, ALGO_NONE};
+use doall_core::Instance;
+use doall_sim::analysis::{execution_profile, summarize, BatchSummary};
+use doall_sim::{Simulation, DEFAULT_MAX_TICKS};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Trace capacity used when an experiment asks for execution profiles.
+const TRACE_CAPACITY: usize = 4_000_000;
+
+/// How to execute a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Worker threads (≥ 1). Affects wall-clock only, never results.
+    pub threads: usize,
+    /// Tick cutoff per run (see [`doall_sim::DEFAULT_MAX_TICKS`]).
+    pub max_ticks: u64,
+    /// Collect execution traces and report primary/secondary execution
+    /// counts (Section 4 analysis) for every simulated cell.
+    pub trace: bool,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self {
+            threads: default_threads(),
+            max_ticks: DEFAULT_MAX_TICKS,
+            trace: false,
+        }
+    }
+}
+
+/// The default worker count: the machine's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// An error from executing a sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SweepError {
+    /// A cell referenced an unknown or unbuildable key.
+    Bad(GridError),
+    /// A run hit the tick cutoff without completing.
+    Incomplete {
+        /// The offending cell, rendered for the error message.
+        cell: String,
+        /// The replicate seed index that failed.
+        seed: u64,
+    },
+    /// The instance shape was invalid.
+    Instance(String),
+}
+
+impl fmt::Display for SweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SweepError::Bad(e) => write!(f, "{e}"),
+            SweepError::Incomplete { cell, seed } => write!(
+                f,
+                "run did not complete within the tick budget (cell {cell}, seed {seed}); \
+                 raise --max-ticks"
+            ),
+            SweepError::Instance(msg) => write!(f, "bad instance: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SweepError {}
+
+impl From<GridError> for SweepError {
+    fn from(e: GridError) -> Self {
+        SweepError::Bad(e)
+    }
+}
+
+/// The measured side of one cell: batch aggregates plus (optionally)
+/// trace-derived execution-profile means. `summary` is `None` for
+/// derive-only cells (`algo == "none"`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMeasurement {
+    /// The cell that was run.
+    pub cell: Cell,
+    /// Work/message aggregates over the cell's replicates.
+    pub summary: Option<BatchSummary>,
+    /// Mean primary executions per run (trace mode only).
+    pub mean_primary: Option<f64>,
+    /// Mean secondary (redundant) executions per run (trace mode only).
+    pub mean_secondary: Option<f64>,
+}
+
+impl CellMeasurement {
+    /// Renders the measured aggregates as the canonical metric map — the
+    /// single definition of the measured half of the output schema
+    /// (`mean/median/max work` & `messages`, `completed`, and the traced
+    /// execution-profile means where present). Every producer of
+    /// [`crate::output::Record`]s starts from this map so CLI sweeps,
+    /// experiment runs, and tests cannot drift apart.
+    #[must_use]
+    pub fn metrics(&self) -> std::collections::BTreeMap<String, f64> {
+        let mut metrics = std::collections::BTreeMap::new();
+        if let Some(s) = &self.summary {
+            metrics.insert("mean_work".to_string(), s.mean_work);
+            metrics.insert("median_work".to_string(), s.median_work);
+            metrics.insert("max_work".to_string(), s.max_work as f64);
+            metrics.insert("mean_messages".to_string(), s.mean_messages);
+            metrics.insert("median_messages".to_string(), s.median_messages);
+            metrics.insert("max_messages".to_string(), s.max_messages as f64);
+            metrics.insert("completed".to_string(), s.completed as f64);
+        }
+        if let Some(primary) = self.mean_primary {
+            metrics.insert("mean_primary".to_string(), primary);
+        }
+        if let Some(secondary) = self.mean_secondary {
+            metrics.insert("mean_secondary".to_string(), secondary);
+        }
+        metrics
+    }
+}
+
+/// Runs every cell, in parallel across `cfg.threads` workers.
+///
+/// Results come back in cell order. The first error (bad key, invalid
+/// instance, or a run that hit the tick cutoff) aborts the sweep.
+///
+/// # Errors
+///
+/// Returns the first [`SweepError`] any worker encountered.
+pub fn run_cells(cells: &[Cell], cfg: &SweepConfig) -> Result<Vec<CellMeasurement>, SweepError> {
+    // Validate everything up front so workers only see well-formed cells.
+    for cell in cells {
+        crate::grid::validate_algo_key(&cell.algo)?;
+        crate::grid::validate_adversary_key(&cell.adversary)?;
+        Instance::new(cell.p, cell.t).map_err(|e| SweepError::Instance(e.to_string()))?;
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<CellMeasurement>>> = Mutex::new(vec![None; cells.len()]);
+    let first_error: Mutex<Option<SweepError>> = Mutex::new(None);
+    let workers = cfg.threads.max(1).min(cells.len().max(1));
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= cells.len() {
+                    break;
+                }
+                match run_cell(&cells[i], cfg) {
+                    Ok(m) => slots.lock().expect("poisoned")[i] = Some(m),
+                    Err(e) => {
+                        let mut guard = first_error.lock().expect("poisoned");
+                        if guard.is_none() {
+                            *guard = Some(e);
+                        }
+                        // Drain remaining work so every worker exits fast.
+                        next.fetch_add(cells.len(), Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    })
+    .expect("sweep workers do not panic");
+    if let Some(e) = first_error.into_inner().expect("poisoned") {
+        return Err(e);
+    }
+    Ok(slots
+        .into_inner()
+        .expect("poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("all cells ran"))
+        .collect())
+}
+
+/// Runs one cell's full replicate batch sequentially.
+///
+/// # Errors
+///
+/// Returns a [`SweepError`] for bad keys, invalid shapes, or runs that
+/// hit the tick cutoff (experiments must not silently aggregate over
+/// broken executions).
+pub fn run_cell(cell: &Cell, cfg: &SweepConfig) -> Result<CellMeasurement, SweepError> {
+    if cell.algo == ALGO_NONE {
+        return Ok(CellMeasurement {
+            cell: cell.clone(),
+            summary: None,
+            mean_primary: None,
+            mean_secondary: None,
+        });
+    }
+    let instance =
+        Instance::new(cell.p, cell.t).map_err(|e| SweepError::Instance(e.to_string()))?;
+    // `padet-affine` is the only key whose build can fail after key
+    // validation (composite task count); surface that as an error rather
+    // than a worker panic. Other keys are infallible post-validation, and
+    // an unconditional eager build would double the cost of searched
+    // schedule lists.
+    if cell.algo == "padet-affine" {
+        build_algorithm(&cell.algo, instance, cell.run_seed(0))?;
+    }
+
+    let mut reports = Vec::with_capacity(cell.seeds as usize);
+    let mut primary_total = 0usize;
+    let mut secondary_total = 0usize;
+    if cfg.trace {
+        for k in 0..cell.seeds {
+            let seed = cell.run_seed(k);
+            let algo = build_algorithm(&cell.algo, instance, seed).expect("validated above");
+            let adversary = build_adversary(&cell.adversary, cell.p, cell.t, cell.d, seed)?;
+            let (report, trace) = Simulation::new(instance, algo.spawn(instance), adversary)
+                .max_ticks(cfg.max_ticks)
+                .with_trace(TRACE_CAPACITY)
+                .run_traced();
+            let profile = execution_profile(&trace.expect("tracing enabled"), cell.t);
+            primary_total += profile.primary_executions;
+            secondary_total += profile.secondary_executions;
+            reports.push(report);
+        }
+    } else {
+        reports = Simulation::run_batch(
+            instance,
+            cell.seeds,
+            cfg.max_ticks,
+            |k| {
+                build_algorithm(&cell.algo, instance, cell.run_seed(k))
+                    .expect("validated above")
+                    .spawn(instance)
+            },
+            |k| {
+                build_adversary(&cell.adversary, cell.p, cell.t, cell.d, cell.run_seed(k))
+                    .expect("validated before spawning workers")
+            },
+        );
+    }
+    if let Some(k) = reports.iter().position(|r| !r.completed) {
+        return Err(SweepError::Incomplete {
+            cell: format!(
+                "{} vs {} p={} t={} d={}",
+                cell.algo, cell.adversary, cell.p, cell.t, cell.d
+            ),
+            seed: k as u64,
+        });
+    }
+    let runs = cell.seeds as f64;
+    Ok(CellMeasurement {
+        cell: cell.clone(),
+        summary: Some(summarize(&reports)),
+        mean_primary: cfg.trace.then(|| primary_total as f64 / runs),
+        mean_secondary: cfg.trace.then(|| secondary_total as f64 / runs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+
+    fn small_grid() -> Grid {
+        Grid::parse("algos=paran1,soloall advs=stage,unit shapes=4x8 ds=1,2 seeds=2 seed=3")
+            .unwrap()
+    }
+
+    #[test]
+    fn sequential_and_parallel_agree_exactly() {
+        let cells = small_grid().cells();
+        let seq = run_cells(
+            &cells,
+            &SweepConfig {
+                threads: 1,
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        let par = run_cells(
+            &cells,
+            &SweepConfig {
+                threads: 8,
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq, par, "thread count must not influence results");
+        assert_eq!(seq.len(), cells.len());
+    }
+
+    #[test]
+    fn none_cells_skip_simulation() {
+        let cells = Grid::parse("algos=none shapes=4x8").unwrap().cells();
+        let out = run_cells(&cells, &SweepConfig::default()).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].summary.is_none());
+    }
+
+    #[test]
+    fn trace_mode_reports_primary_executions() {
+        let cells = Grid::parse("algos=soloall shapes=2x4 advs=unit seeds=1")
+            .unwrap()
+            .cells();
+        let out = run_cells(
+            &cells,
+            &SweepConfig {
+                trace: true,
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        // SoloAll: each processor sweeps all 4 tasks from its own offset,
+        // so every task has exactly one primary execution.
+        assert_eq!(out[0].mean_primary, Some(4.0));
+        let secondary = out[0].mean_secondary.expect("trace mode");
+        assert!(secondary >= 0.0);
+    }
+
+    #[test]
+    fn tick_cutoff_is_an_error_not_a_silent_average() {
+        // d=8 delays with a 4-tick budget: paran1 cannot finish.
+        let cells = Grid::parse("algos=paran1 advs=fixed shapes=2x16 ds=8")
+            .unwrap()
+            .cells();
+        let err = run_cells(
+            &cells,
+            &SweepConfig {
+                max_ticks: 4,
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SweepError::Incomplete { .. }), "{err}");
+        assert!(err.to_string().contains("max-ticks"));
+    }
+
+    #[test]
+    fn bad_keys_fail_before_any_run() {
+        let mut cells = small_grid().cells();
+        cells[0].algo = "frobnicate".to_string();
+        assert!(matches!(
+            run_cells(&cells, &SweepConfig::default()),
+            Err(SweepError::Bad(_))
+        ));
+    }
+}

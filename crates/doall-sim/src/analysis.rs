@@ -12,6 +12,76 @@
 //! verifies that bound with [`execution_profile`].
 
 use crate::{Trace, TraceEvent};
+use doall_core::RunReport;
+
+/// Aggregate of a batch of runs (one grid cell of a sweep): mean, median,
+/// and max of work and messages, plus completion accounting.
+///
+/// Produced by [`summarize`] from the reports of
+/// [`crate::Simulation::run_batch`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchSummary {
+    /// Number of runs aggregated.
+    pub runs: usize,
+    /// How many of them completed (reached σ before the tick cutoff).
+    pub completed: usize,
+    /// Mean work across the runs.
+    pub mean_work: f64,
+    /// Median work across the runs (midpoint average for even counts).
+    pub median_work: f64,
+    /// Maximum work across the runs.
+    pub max_work: u64,
+    /// Mean message count across the runs.
+    pub mean_messages: f64,
+    /// Median message count across the runs.
+    pub median_messages: f64,
+    /// Maximum message count across the runs.
+    pub max_messages: u64,
+}
+
+impl BatchSummary {
+    /// `true` iff every run in the batch completed.
+    #[must_use]
+    pub fn all_completed(&self) -> bool {
+        self.completed == self.runs
+    }
+}
+
+fn median(sorted: &[u64]) -> f64 {
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2] as f64
+    } else {
+        (sorted[n / 2 - 1] as f64 + sorted[n / 2] as f64) / 2.0
+    }
+}
+
+/// Aggregates a batch of [`RunReport`]s into mean/median/max work and
+/// message statistics.
+///
+/// # Panics
+///
+/// Panics on an empty batch (an average over zero runs is a bug in the
+/// caller, not a value to propagate).
+#[must_use]
+pub fn summarize(reports: &[RunReport]) -> BatchSummary {
+    assert!(!reports.is_empty(), "cannot summarize an empty batch");
+    let mut works: Vec<u64> = reports.iter().map(|r| r.work).collect();
+    let mut msgs: Vec<u64> = reports.iter().map(|r| r.messages).collect();
+    works.sort_unstable();
+    msgs.sort_unstable();
+    let n = reports.len() as f64;
+    BatchSummary {
+        runs: reports.len(),
+        completed: reports.iter().filter(|r| r.completed).count(),
+        mean_work: works.iter().sum::<u64>() as f64 / n,
+        median_work: median(&works),
+        max_work: *works.last().expect("non-empty"),
+        mean_messages: msgs.iter().sum::<u64>() as f64 / n,
+        median_messages: median(&msgs),
+        max_messages: *msgs.last().expect("non-empty"),
+    }
+}
 
 /// Aggregate statistics extracted from an execution trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -165,6 +235,47 @@ mod tests {
         let p = execution_profile(&trace, 1);
         assert_eq!(p.broadcasts, 1);
         assert_eq!(p.redundancy(), 0.0);
+    }
+
+    fn report(work: u64, messages: u64, completed: bool) -> doall_core::RunReport {
+        doall_core::RunReport {
+            work,
+            messages,
+            sigma: completed.then_some(work),
+            completed,
+            work_per_processor: vec![work],
+        }
+    }
+
+    #[test]
+    fn summarize_mean_median_max() {
+        let s = summarize(&[
+            report(10, 1, true),
+            report(20, 3, true),
+            report(90, 2, false),
+        ]);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.completed, 2);
+        assert!(!s.all_completed());
+        assert!((s.mean_work - 40.0).abs() < 1e-12);
+        assert!((s.median_work - 20.0).abs() < 1e-12);
+        assert_eq!(s.max_work, 90);
+        assert!((s.mean_messages - 2.0).abs() < 1e-12);
+        assert!((s.median_messages - 2.0).abs() < 1e-12);
+        assert_eq!(s.max_messages, 3);
+    }
+
+    #[test]
+    fn summarize_even_count_median_is_midpoint() {
+        let s = summarize(&[report(10, 0, true), report(30, 0, true)]);
+        assert!((s.median_work - 20.0).abs() < 1e-12);
+        assert!(s.all_completed());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn summarize_rejects_empty() {
+        let _ = summarize(&[]);
     }
 
     #[test]

@@ -43,6 +43,6 @@ mod view;
 
 pub use adversary::Adversary;
 pub use network::Mailboxes;
-pub use sim::Simulation;
+pub use sim::{Simulation, DEFAULT_MAX_TICKS};
 pub use trace::{Trace, TraceEvent};
 pub use view::SimView;

@@ -9,7 +9,9 @@ use doall_core::{
 /// Default safety cutoff: ticks after which a run is abandoned as
 /// non-terminating (the adversary can always prevent termination by
 /// freezing everyone; a report with `completed == false` is returned).
-const DEFAULT_MAX_TICKS: u64 = 2_000_000;
+/// Override per run with [`Simulation::max_ticks`] — lower-bound
+/// experiments shorten it, long sweeps raise it.
+pub const DEFAULT_MAX_TICKS: u64 = 2_000_000;
 
 /// A single execution of a Do-All algorithm under an adversary.
 ///
@@ -101,11 +103,43 @@ impl Simulation {
     }
 
     /// Sets the tick cutoff after which the run is abandoned (returning
-    /// `completed == false`). Defaults to two million ticks.
+    /// `completed == false`). Defaults to [`DEFAULT_MAX_TICKS`].
     #[must_use]
     pub fn max_ticks(mut self, ticks: u64) -> Self {
         self.max_ticks = ticks;
         self
+    }
+
+    /// Batch entry point: runs `runs` independent executions of the same
+    /// instance, one per seed `0..runs`, each with its own processor set
+    /// and adversary, and returns the reports in seed order.
+    ///
+    /// This is the building block of the sweep harness: a grid cell maps
+    /// to one `run_batch` call whose reports are then aggregated (see
+    /// [`crate::analysis::summarize`]). The factories receive the seed so
+    /// randomized algorithms/adversaries derive their state from it —
+    /// which is what makes batches reproducible and independent of any
+    /// outer parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a factory returns the wrong number of processors (same
+    /// contract as [`Simulation::new`]).
+    #[must_use]
+    pub fn run_batch(
+        instance: Instance,
+        runs: u64,
+        max_ticks: u64,
+        mut procs_for: impl FnMut(u64) -> Vec<Box<dyn DoAllProcess>>,
+        mut adversary_for: impl FnMut(u64) -> Box<dyn Adversary>,
+    ) -> Vec<RunReport> {
+        (0..runs)
+            .map(|seed| {
+                Simulation::new(instance, procs_for(seed), adversary_for(seed))
+                    .max_ticks(max_ticks)
+                    .run()
+            })
+            .collect()
     }
 
     /// Enables event tracing, retaining at most `capacity` events.
@@ -449,6 +483,21 @@ mod tests {
             trace.events().last(),
             Some(TraceEvent::Completed { now: 1, .. })
         ));
+    }
+
+    #[test]
+    fn run_batch_returns_reports_in_seed_order() {
+        let instance = Instance::new(1, 5).unwrap();
+        let reports = Simulation::run_batch(
+            instance,
+            3,
+            1_000,
+            |_| sweep_procs(1, 5),
+            |seed| Box::new(FixedDelay::new(seed + 1)),
+        );
+        assert_eq!(reports.len(), 3);
+        // Communication-free sweeps: every seed yields the same report.
+        assert!(reports.iter().all(|r| r.completed && r.work == 5));
     }
 
     #[test]

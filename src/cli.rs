@@ -3,22 +3,26 @@
 //! Subcommands:
 //!
 //! * `simulate` — run one execution and print the report;
-//! * `sweep`    — work vs `d` table for one algorithm;
+//! * `sweep`    — run a scenario grid (algorithm × adversary × shape × d)
+//!   through the parallel sweep harness, with table/JSON/CSV output;
 //! * `contention` — contention report for a random schedule list;
 //! * `bounds`   — print every closed-form bound for `(p, t, d)`.
 //!
 //! The parser is hand-rolled (no CLI dependency) and exposed here so it
-//! can be unit-tested; `src/bin/doall.rs` is a thin wrapper.
+//! can be unit-tested; `src/bin/doall.rs` is a thin wrapper. Algorithm
+//! and adversary construction is shared with the experiment harness
+//! (`doall_bench::grid`), so both accept exactly the same keys.
 
-use crate::algorithms::{Algorithm, Da, ObliDo, PaDet, PaGossip, PaRan1, PaRan2, SoloAll};
+use crate::algorithms::Algorithm;
 use crate::bounds;
 use crate::perms::Schedules;
-use crate::sim::adversary::{
-    BurstyDelay, FixedDelay, LowerBoundAdversary, RandomDelay, RandomizedLbAdversary, StageAligned,
-    UnitDelay,
-};
 use crate::sim::{Adversary, Simulation};
 use crate::Instance;
+use doall_bench::grid::{
+    build_adversary, build_algorithm, validate_adversary_key, validate_algo_key, Grid,
+};
+use doall_bench::output::{emit, Flags, Format, Record, ResultSet};
+use doall_bench::sweep::{run_cells, SweepConfig};
 use std::fmt;
 
 /// A parsed invocation.
@@ -26,8 +30,8 @@ use std::fmt;
 pub enum Command {
     /// Run one simulated execution.
     Simulate(RunSpec),
-    /// Work vs `d` sweep (d = 1, 2, 4, … up to `t`).
-    Sweep(RunSpec),
+    /// Run a scenario grid through the parallel sweep harness.
+    Sweep(SweepSpec),
     /// Contention report for a random list of `p` schedules over `[n]`.
     Contention {
         /// Number of schedules.
@@ -50,7 +54,23 @@ pub enum Command {
     Help,
 }
 
-/// Common parameters of `simulate` and `sweep`.
+/// Parameters of the `sweep` subcommand: a grid plus execution/output
+/// options shared with the experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// The scenario grid to run.
+    pub grid: Grid,
+    /// Worker threads (default: available parallelism).
+    pub threads: Option<usize>,
+    /// Per-run tick cutoff (default: the simulator's).
+    pub max_ticks: Option<u64>,
+    /// Output format.
+    pub format: Format,
+    /// Write output here instead of stdout.
+    pub out: Option<String>,
+}
+
+/// Common parameters of `simulate`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunSpec {
     /// Algorithm key (see [`RunSpec::algorithm`]).
@@ -89,16 +109,25 @@ doall — message-delay-sensitive Do-All (Kowalski & Shvartsman, PODC'03)
 
 USAGE:
   doall simulate   --algo A -p P -t T -d D [--adversary ADV] [--seed S]
-  doall sweep      --algo A -p P -t T      [--adversary ADV] [--seed S]
+  doall sweep      --grid 'algos=A,... advs=ADV,... shapes=PxT,... ds=D,... seeds=K seed=S'
+                   [--threads N] [--max-ticks N] [--json|--csv] [--out PATH]
+  doall sweep      --algo A -p P -t T [-d D] [--adversary ADV] [--seed S]
+                   (single-algorithm shorthand; no -d sweeps d = 1,2,4,… up to t)
   doall contention -p P -n N [--seed S]
   doall bounds     -p P -t T -d D
   doall help
 
 ALGORITHMS (A):
-  soloall | oblido | da:<q> | paran1 | paran2 | padet | gossip:<fanout>
+  soloall | oblido | oblido-searched | oblido-worst | da:<q> | paran1 | paran2
+  | padet | padet-rot | padet-affine | gossip:<fanout>
 
 ADVERSARIES (ADV, default 'stage'):
-  unit | fixed | random | stage | bursty | lb | lbrand
+  unit | fixed | random | stage | bursty | lb | lbrand | crash:<pct>
+
+Sweeps run on the doall-bench harness: cells execute in parallel across a
+thread pool with per-cell deterministic seeding, so --threads changes
+wall-clock only, never a number. --json / --csv emit the machine-readable
+schema CI archives (see BENCH_sweep.json).
 ";
 
 /// Parses an argument vector (without the program name).
@@ -111,14 +140,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     let sub = it.next().map(String::as_str).unwrap_or("help");
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "simulate" | "sweep" => {
+        "simulate" => {
             let mut algo = None;
             let mut p = None;
             let mut t = None;
             let mut d = 1u64;
             let mut adversary = "stage".to_string();
             let mut seed = 0u64;
-            let need_d = sub == "simulate";
             let mut have_d = false;
             while let Some(flag) = it.next() {
                 let mut value = || {
@@ -138,7 +166,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
-            if need_d && !have_d {
+            if !have_d {
                 return Err(err("simulate requires -d"));
             }
             let spec = RunSpec {
@@ -150,11 +178,118 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 seed,
             };
             spec.validate()?;
-            Ok(if sub == "simulate" {
-                Command::Simulate(spec)
-            } else {
-                Command::Sweep(spec)
-            })
+            Ok(Command::Simulate(spec))
+        }
+        "sweep" => {
+            let mut grid_spec: Option<String> = None;
+            let mut algo = None;
+            let mut p = None;
+            let mut t = None;
+            let mut ds: Option<Vec<u64>> = None;
+            let mut adversary = "stage".to_string();
+            let mut seed = 0u64;
+            let mut threads = None;
+            let mut max_ticks = None;
+            let mut format = Format::Table;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| err(format!("flag {flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--grid" => grid_spec = Some(value()?.clone()),
+                    "--algo" => algo = Some(value()?.clone()),
+                    "-p" => p = Some(parse_num(value()?, "-p")?),
+                    "-t" => t = Some(parse_num(value()?, "-t")?),
+                    "-d" => ds = Some(vec![parse_num(value()?, "-d")? as u64]),
+                    "--adversary" => adversary = value()?.clone(),
+                    "--seed" => seed = parse_num(value()?, "--seed")? as u64,
+                    "--threads" => {
+                        let n = parse_num(value()?, "--threads")?;
+                        if n == 0 {
+                            return Err(err("--threads must be at least 1"));
+                        }
+                        threads = Some(n);
+                    }
+                    "--max-ticks" => {
+                        let n = parse_num(value()?, "--max-ticks")? as u64;
+                        if n == 0 {
+                            return Err(err("--max-ticks must be at least 1"));
+                        }
+                        max_ticks = Some(n);
+                    }
+                    // Same semantics as the experiment binaries' shared
+                    // parser (doall_bench::output::parse_flags): the two
+                    // formats conflict, and --out without a format means
+                    // JSON (a file of Markdown tables is never the ask).
+                    "--json" => {
+                        if format == Format::Csv {
+                            return Err(err("--json conflicts with --csv"));
+                        }
+                        format = Format::Json;
+                    }
+                    "--csv" => {
+                        if format == Format::Json {
+                            return Err(err("--json conflicts with --csv"));
+                        }
+                        format = Format::Csv;
+                    }
+                    "--out" => out = Some(value()?.clone()),
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            if out.is_some() && format == Format::Table {
+                format = Format::Json;
+            }
+            let grid = match grid_spec {
+                Some(spec) => {
+                    if algo.is_some() || p.is_some() || t.is_some() || ds.is_some() {
+                        return Err(err("--grid conflicts with --algo/-p/-t/-d"));
+                    }
+                    Grid::parse(&spec).map_err(|e| err(format!("bad --grid: {e}")))?
+                }
+                None => {
+                    // Single-algorithm shorthand: one shape, d = 1,2,4,…,t
+                    // unless -d pins a single value.
+                    let algo = algo.ok_or_else(|| err("--algo (or --grid) is required"))?;
+                    let p = p.ok_or_else(|| err("-p is required"))?;
+                    let t = t.ok_or_else(|| err("-t is required"))?;
+                    if p == 0 || t == 0 {
+                        return Err(err("-p and -t must be positive"));
+                    }
+                    let ds = ds.unwrap_or_else(|| {
+                        let mut ds = Vec::new();
+                        let mut d = 1u64;
+                        while d <= t as u64 {
+                            ds.push(d);
+                            d *= 2;
+                        }
+                        ds
+                    });
+                    if ds.contains(&0) {
+                        return Err(err("-d must be at least 1"));
+                    }
+                    let grid = Grid {
+                        algos: vec![algo],
+                        adversaries: vec![adversary],
+                        shapes: vec![(p, t)],
+                        ds,
+                        seeds: 1,
+                        base_seed: seed,
+                    };
+                    grid.validate().map_err(|e| err(e.to_string()))?;
+                    grid
+                }
+            };
+            grid.validate().map_err(|e| err(e.to_string()))?;
+            Ok(Command::Sweep(SweepSpec {
+                grid,
+                threads,
+                max_ticks,
+                format,
+                out,
+            }))
         }
         "contention" => {
             let (mut p, mut n, mut seed) = (None, None, 0u64);
@@ -215,13 +350,17 @@ impl RunSpec {
         if self.d == 0 {
             return Err(err("-d must be at least 1"));
         }
-        // Validate keys eagerly so errors surface before a long run.
-        self.algorithm()?;
-        self.adversary()?;
+        // Validate keys eagerly (syntax only — building searched-list
+        // algorithms like `oblido-searched` here would run the certified
+        // search twice per invocation) so errors surface before a long run.
+        validate_algo_key(&self.algo).map_err(|e| err(format!("{e}; try `doall help`")))?;
+        validate_adversary_key(&self.adversary)
+            .map_err(|e| err(format!("{e}; try `doall help`")))?;
         Ok(())
     }
 
-    /// Builds the algorithm named by `self.algo`.
+    /// Builds the algorithm named by `self.algo` via the shared
+    /// harness constructor ([`doall_bench::grid::build_algorithm`]).
     ///
     /// # Errors
     ///
@@ -229,71 +368,20 @@ impl RunSpec {
     pub fn algorithm(&self) -> Result<Box<dyn Algorithm>, CliError> {
         let instance =
             Instance::new(self.p, self.t).map_err(|e| err(format!("bad instance: {e}")))?;
-        let key = self.algo.as_str();
-        if let Some(q) = key.strip_prefix("da:") {
-            let q: usize = q
-                .parse()
-                .map_err(|_| err(format!("da:<q>: `{q}` is not a number")))?;
-            if !(2..=8).contains(&q) {
-                return Err(err("da:<q> supports 2 ≤ q ≤ 8 (certified schedule search)"));
-            }
-            return Ok(Box::new(Da::with_default_schedules(q, self.seed)));
-        }
-        if let Some(f) = key.strip_prefix("gossip:") {
-            let f: usize = f
-                .parse()
-                .map_err(|_| err(format!("gossip:<fanout>: `{f}` is not a number")))?;
-            if f == 0 {
-                return Err(err("gossip fanout must be at least 1"));
-            }
-            return Ok(Box::new(PaGossip::new(self.seed, f)));
-        }
-        Ok(match key {
-            "soloall" => Box::new(SoloAll::new()),
-            "oblido" => {
-                let n = instance.units();
-                Box::new(ObliDo::new(Schedules::random(n, n, self.seed)))
-            }
-            "paran1" => Box::new(PaRan1::new(self.seed)),
-            "paran2" => Box::new(PaRan2::new(self.seed)),
-            "padet" => Box::new(PaDet::random_for(instance, self.seed)),
-            other => {
-                return Err(err(format!(
-                    "unknown algorithm `{other}`; try `doall help`"
-                )))
-            }
-        })
+        build_algorithm(&self.algo, instance, self.seed)
+            .map_err(|e| err(format!("{e}; try `doall help`")))
     }
 
-    /// Builds the adversary named by `self.adversary` with bound `d`.
+    /// Builds the adversary named by `self.adversary` with bound `d` via
+    /// the shared harness constructor
+    /// ([`doall_bench::grid::build_adversary`]).
     ///
     /// # Errors
     ///
     /// Returns a [`CliError`] for an unknown key.
     pub fn adversary(&self) -> Result<Box<dyn Adversary>, CliError> {
-        self.adversary_with_d(self.d)
-    }
-
-    /// Builds the adversary with an explicit bound (used by sweeps).
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`CliError`] for an unknown key.
-    pub fn adversary_with_d(&self, d: u64) -> Result<Box<dyn Adversary>, CliError> {
-        Ok(match self.adversary.as_str() {
-            "unit" => Box::new(UnitDelay),
-            "fixed" => Box::new(FixedDelay::new(d)),
-            "random" => Box::new(RandomDelay::new(d, self.seed)),
-            "stage" => Box::new(StageAligned::new(d)),
-            "bursty" => Box::new(BurstyDelay::new(d, (d / 2).max(1))),
-            "lb" => Box::new(LowerBoundAdversary::new(d, self.t)),
-            "lbrand" => Box::new(RandomizedLbAdversary::new(d, self.t, self.seed)),
-            other => {
-                return Err(err(format!(
-                    "unknown adversary `{other}`; try `doall help`"
-                )))
-            }
-        })
+        build_adversary(&self.adversary, self.p, self.t, self.d, self.seed)
+            .map_err(|e| err(format!("{e}; try `doall help`")))
     }
 }
 
@@ -335,38 +423,45 @@ pub fn execute(command: &Command) -> Result<(), CliError> {
             Ok(())
         }
         Command::Sweep(spec) => {
-            let instance =
-                Instance::new(spec.p, spec.t).map_err(|e| err(format!("bad instance: {e}")))?;
-            let algo = spec.algorithm()?;
-            println!(
-                "{} sweep | p={} t={} adversary={}",
-                algo.name(),
-                spec.p,
-                spec.t,
-                spec.adversary
-            );
-            println!(
-                "{:>8} {:>12} {:>12} {:>10}",
-                "d", "work", "messages", "W/(p·t)"
-            );
-            let mut d = 1u64;
-            while d <= spec.t as u64 {
-                let report =
-                    Simulation::new(instance, algo.spawn(instance), spec.adversary_with_d(d)?)
-                        .max_ticks(50_000_000)
-                        .run();
-                if !report.completed {
-                    return Err(err(format!("run at d={d} did not complete")));
-                }
-                println!(
-                    "{d:>8} {:>12} {:>12} {:>10.3}",
-                    report.work,
-                    report.messages,
-                    report.work_ratio_to_quadratic(spec.p, spec.t)
-                );
-                d *= 2;
+            let cells = spec.grid.cells();
+            let mut cfg = SweepConfig {
+                max_ticks: spec.max_ticks.unwrap_or(50_000_000),
+                ..SweepConfig::default()
+            };
+            if let Some(threads) = spec.threads {
+                cfg.threads = threads;
             }
-            Ok(())
+            let measurements = run_cells(&cells, &cfg).map_err(|e| err(e.to_string()))?;
+            let records: Vec<Record> = measurements
+                .into_iter()
+                .map(|m| {
+                    let mut metrics = m.metrics();
+                    if let Some(s) = &m.summary {
+                        metrics.insert(
+                            "ratio_quadratic".to_string(),
+                            s.mean_work / (m.cell.p * m.cell.t) as f64,
+                        );
+                    }
+                    Record {
+                        experiment: "sweep".to_string(),
+                        cell: m.cell,
+                        metrics,
+                    }
+                })
+                .collect();
+            let results = ResultSet {
+                mode: "custom".to_string(),
+                records,
+            };
+            let flags = Flags {
+                format: spec.format,
+                out: spec.out.clone(),
+                ..Flags::default()
+            };
+            if spec.format == Format::Table {
+                println!("sweep | {}", spec.grid);
+            }
+            emit(&results, &flags).map_err(err)
         }
         Command::Contention { p, n, seed } => {
             if *p == 0 || *n == 0 {
@@ -603,19 +698,67 @@ mod tests {
     }
 
     #[test]
-    fn sweep_round_trips() {
-        let spec = RunSpec {
-            algo: "gossip:3".to_string(),
-            p: 5,
-            t: 40,
-            d: 7,
-            adversary: "lbrand".to_string(),
-            seed: u64::from(u32::MAX) + 1,
-        };
-        assert_eq!(
-            parse(&spec_args("sweep", &spec)).unwrap(),
-            Command::Sweep(spec)
-        );
+    fn sweep_shorthand_builds_a_single_algorithm_grid() {
+        let seed = u64::from(u32::MAX) + 1;
+        let cmd = parse(&args(&format!(
+            "sweep --algo gossip:3 -p 5 -t 40 -d 7 --adversary lbrand --seed {seed}"
+        )))
+        .unwrap();
+        match cmd {
+            Command::Sweep(spec) => {
+                assert_eq!(spec.grid.algos, vec!["gossip:3"]);
+                assert_eq!(spec.grid.adversaries, vec!["lbrand"]);
+                assert_eq!(spec.grid.shapes, vec![(5, 40)]);
+                assert_eq!(spec.grid.ds, vec![7], "-d pins a single delay bound");
+                assert_eq!(spec.grid.base_seed, seed);
+                assert_eq!(spec.format, Format::Table);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_without_d_sweeps_powers_of_two() {
+        let cmd = parse(&args("sweep --algo padet -p 4 -t 8")).unwrap();
+        match cmd {
+            Command::Sweep(spec) => assert_eq!(spec.grid.ds, vec![1, 2, 4, 8]),
+            other => panic!("wrong command: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sweep_grid_flag_parses_and_conflicts_with_shorthand() {
+        let argv = vec![
+            "sweep".to_string(),
+            "--grid".to_string(),
+            "algos=da:3,paran1 advs=stage,unit shapes=4x8 ds=1,2 seeds=2 seed=5".to_string(),
+            "--threads".to_string(),
+            "2".to_string(),
+            "--json".to_string(),
+        ];
+        match parse(&argv).unwrap() {
+            Command::Sweep(spec) => {
+                assert_eq!(spec.grid.algos, vec!["da:3", "paran1"]);
+                assert_eq!(spec.grid.seeds, 2);
+                assert_eq!(spec.threads, Some(2));
+                assert_eq!(spec.format, Format::Json);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let conflicting = vec![
+            "sweep".to_string(),
+            "--grid".to_string(),
+            "algos=paran1 shapes=4x8".to_string(),
+            "--algo".to_string(),
+            "padet".to_string(),
+        ];
+        assert!(parse(&conflicting).is_err());
+        let bad_grid = vec![
+            "sweep".to_string(),
+            "--grid".to_string(),
+            "algos=frobnicate shapes=4x8".to_string(),
+        ];
+        assert!(parse(&bad_grid).is_err());
     }
 
     #[test]

@@ -7,6 +7,34 @@
 
 #![forbid(unsafe_code)]
 
+/// Scoped threads (subset of `crossbeam::thread`), backed by
+/// [`std::thread::scope`] (stable since Rust 1.63, which provides the same
+/// guarantee the real crate does: every spawned thread is joined before
+/// `scope` returns, so borrows of the enclosing stack frame are sound).
+///
+/// API deviation from the published crate: `Scope::spawn` takes a plain
+/// `FnOnce()` closure (std style) rather than crossbeam's `FnOnce(&Scope)`,
+/// and the `Result` is always `Ok` unless a spawned thread panicked — a
+/// panic in any spawned thread is propagated by `std::thread::scope`
+/// itself, so callers that `.expect()` the result keep crossbeam's
+/// fail-fast behaviour.
+pub mod thread {
+    /// Runs `f` with a [`std::thread::Scope`]; all threads spawned on the
+    /// scope are joined before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` (std propagates child panics by panicking);
+    /// the `Result` exists to mirror `crossbeam::thread::scope`'s
+    /// signature so call sites port verbatim to the published crate.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(f))
+    }
+}
+
 /// MPSC channels (mirror of `crossbeam::channel`).
 pub mod channel {
     pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
@@ -27,7 +55,28 @@ pub mod channel {
 #[cfg(test)]
 mod tests {
     use super::channel::{unbounded, RecvTimeoutError, TryRecvError};
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let counter = AtomicUsize::new(0);
+        let total = super::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            7usize
+        })
+        .expect("no panics");
+        assert_eq!(total, 7);
+        assert_eq!(
+            counter.load(Ordering::Relaxed),
+            4,
+            "all joined before return"
+        );
+    }
 
     #[test]
     fn round_trip_and_timeout() {
