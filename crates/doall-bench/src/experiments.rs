@@ -591,7 +591,9 @@ pub fn run_experiment(exp: &Experiment, flags: &Flags) -> Result<Vec<Record>, St
     Ok(records)
 }
 
-fn run_suite(only: Option<&str>, args: &[String]) -> Result<(), String> {
+/// Runs the suite and returns whether it is clean: `false` means a
+/// `--compare` baseline comparison found drift (the caller exits 1).
+fn run_suite(only: Option<&str>, args: &[String]) -> Result<bool, String> {
     let flags = parse_flags(args)?;
     let exps: Vec<Experiment> = match only {
         Some(id) => vec![by_id(id).ok_or_else(|| format!("unknown experiment `{id}`"))?],
@@ -627,23 +629,31 @@ fn run_suite(only: Option<&str>, args: &[String]) -> Result<(), String> {
         }
         records.extend(recs);
     }
+    let mode = if flags.smoke { "smoke" } else { "full" };
+    let results = ResultSet {
+        mode: mode.to_string(),
+        records,
+    };
     if !human {
-        let mode = if flags.smoke { "smoke" } else { "full" };
-        emit(
-            &ResultSet {
-                mode: mode.to_string(),
-                records,
-            },
-            &flags,
-        )?;
+        emit(&results, &flags)?;
     }
-    Ok(())
+    if let Some(path) = &flags.compare {
+        let baseline = crate::compare::load_result_set(path).map_err(|e| e.to_string())?;
+        let current = crate::compare::BaselineSet::of(&results);
+        let comparison = crate::compare::compare(&baseline, &current, flags.tolerance);
+        // The diff goes to stderr: stdout may already carry the results.
+        eprint!("{}", comparison.render_text());
+        return Ok(comparison.is_clean());
+    }
+    Ok(true)
 }
 
 fn main_with(only: Option<&str>) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run_suite(only, &args) {
-        Ok(()) => {}
+        Ok(true) => {}
+        // Baseline drift: exit 1, diff-style (2 is reserved for errors).
+        Ok(false) => std::process::exit(1),
         Err(e) if e == "help" => {
             println!("{FLAGS_USAGE}");
         }
@@ -747,6 +757,48 @@ mod tests {
             let ratio = r.metrics["ratio_quadratic"];
             assert!(ratio > 0.0 && ratio < 10.0, "{}: {ratio}", r.cell.algo);
         }
+    }
+
+    #[test]
+    fn suite_compare_is_clean_against_own_output_and_flags_drift() {
+        let args = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
+        let base =
+            std::env::temp_dir().join(format!("doall_suite_compare_{}.json", std::process::id()));
+        let base = base.to_str().unwrap().to_string();
+        // e05 is pure combinatorics (`none` cells) — cheap to run twice.
+        let clean = run_suite(
+            None,
+            &args(&format!("--smoke --only e05 --json --out {base}")),
+        )
+        .unwrap();
+        assert!(clean, "no --compare given");
+        let clean = run_suite(
+            None,
+            &args(&format!(
+                "--smoke --only e05 --json --out {base}.2 --compare {base}"
+            )),
+        )
+        .unwrap();
+        assert!(clean, "a deterministic rerun must match its own baseline");
+        // Doctor one value in the baseline: the rerun must flag drift.
+        let doctored =
+            std::fs::read_to_string(&base)
+                .unwrap()
+                .replacen("\"dcont\": ", "\"dcont\": 9", 1);
+        std::fs::write(&base, doctored).unwrap();
+        let clean = run_suite(
+            None,
+            &args(&format!(
+                "--smoke --only e05 --json --out {base}.2 --compare {base}"
+            )),
+        )
+        .unwrap();
+        assert!(
+            !clean,
+            "a doctored baseline value must be reported as drift"
+        );
+        let _ = std::fs::remove_file(&base);
+        let _ = std::fs::remove_file(format!("{base}.2"));
     }
 
     #[test]

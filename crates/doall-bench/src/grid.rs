@@ -238,6 +238,22 @@ impl Grid {
         for key in &self.adversaries {
             validate_adversary_key(key)?;
         }
+        // Duplicate axis values would expand to duplicate cells with
+        // identical seeds — double-counted work for the engine and
+        // duplicate cell keys the baseline comparator rightly rejects.
+        fn unique_axis<T: Ord>(values: &[T], axis: &str) -> Result<(), GridError> {
+            let mut seen = std::collections::BTreeSet::new();
+            for v in values {
+                if !seen.insert(v) {
+                    return Err(err(format!("duplicate value in {axis} axis")));
+                }
+            }
+            Ok(())
+        }
+        unique_axis(&self.algos, "algos")?;
+        unique_axis(&self.adversaries, "advs")?;
+        unique_axis(&self.shapes, "shapes")?;
+        unique_axis(&self.ds, "ds")?;
         Ok(())
     }
 
@@ -410,13 +426,50 @@ pub fn build_algorithm(
     })
 }
 
+/// The number of processors a `crash:<pct>` adversary crashes on `p`
+/// processors: `pct`% rounded half-up, capped at `p − 1` so at least one
+/// survivor remains (the paper's only fault restriction).
+///
+/// The old truncating division (`p·pct/100`) silently crashed *nobody*
+/// for small grids — `crash:10` at `p = 5` rounded 0.5 down to 0.
+#[must_use]
+pub fn crash_count(pct: u64, p: usize) -> usize {
+    (((p as u64 * pct + 50) / 100) as usize).min(p - 1)
+}
+
+/// The crash schedule a `crash:<pct>` adversary uses for a `(p, t)`
+/// instance under tick budget `max_ticks`: `plan[i] = Some(τ)` crashes
+/// processor `i` at tick `τ`, `None` means it survives. Deterministic in
+/// its arguments (no seed), so the schedule — and hence the recorded
+/// crash count — is identical across a cell's replicates.
+///
+/// Crashes are staggered evenly across the window `[1, W]`, `W =
+/// min(max_ticks − 1, ⌈t/p⌉)`. No execution completes in fewer than
+/// `⌈t/p⌉` ticks (a processor performs at most one task per step), so
+/// the whole stagger lands while the run is still in progress — the old
+/// fixed `5 + 3i` schedule ignored the horizon, and on short smoke runs
+/// most scheduled crashes fell after completion, leaving "crash" cells
+/// exercising no crashes at all.
+#[must_use]
+pub fn crash_plan(pct: u64, p: usize, t: usize, max_ticks: u64) -> Vec<Option<u64>> {
+    let count = crash_count(pct, p);
+    let floor = t.div_ceil(p) as u64;
+    let window = floor.min(max_ticks.saturating_sub(1)).max(1);
+    (0..p)
+        .map(|i| (i < count).then(|| 1 + (i as u64 * (window - 1)) / count.max(1) as u64))
+        .collect()
+}
+
 /// Builds the adversary named by `key` with delay bound `d` for a
-/// `(p, t)` instance, deriving any randomness from `seed`.
+/// `(p, t)` instance, deriving any randomness from `seed`. `max_ticks`
+/// is the run's tick budget — `crash:<pct>` scales its stagger window to
+/// it (see [`crash_plan`]); the other keys ignore it.
 ///
 /// Keys: `unit`, `fixed`, `random`, `stage`, `bursty`, `lb` (Theorem 3.1
 /// dry-run adversary), `lbrand` (Theorem 3.4 delay-on-touch), and
 /// `crash:<pct>` (random delays ≤ `d` plus staggered crashes of `pct`%
-/// of the processors, capped at `p − 1` so one survivor remains).
+/// of the processors — rounded half-up, capped at `p − 1` so one
+/// survivor remains).
 ///
 /// # Errors
 ///
@@ -427,20 +480,19 @@ pub fn build_adversary(
     t: usize,
     d: u64,
     seed: u64,
+    max_ticks: u64,
 ) -> Result<Box<dyn Adversary>, GridError> {
     validate_adversary_key(key)?;
     if let Some(pct) = key.strip_prefix("crash:") {
         let pct: u64 = pct.parse().expect("validated");
         let delays = Box::new(RandomDelay::new(d, seed));
-        if pct == 0 {
+        if crash_count(pct, p) == 0 {
             return Ok(delays);
         }
-        let crash_count = ((p as u64 * pct / 100) as usize).min(p - 1);
-        // Stagger crashes: processor i dies at tick 5 + 3i.
-        let crash_at: Vec<Option<u64>> = (0..p)
-            .map(|i| (i < crash_count).then(|| 5 + 3 * i as u64))
-            .collect();
-        return Ok(Box::new(CrashSchedule::new(delays, crash_at)));
+        return Ok(Box::new(CrashSchedule::new(
+            delays,
+            crash_plan(pct, p, t, max_ticks),
+        )));
     }
     Ok(match key {
         "unit" => Box::new(UnitDelay),
@@ -497,6 +549,10 @@ mod tests {
             "algos=da:99 shapes=4x8",                  // q out of range
             "algos=gossip:0 shapes=4x8",               // zero fanout
             "algos=paran1 advs=crash:101 shapes=4x8",  // pct > 100
+            "algos=paran1,paran1 shapes=4x8",          // duplicate algo
+            "algos=paran1 advs=unit,unit shapes=4x8",  // duplicate adversary
+            "algos=paran1 shapes=4x8,4x8",             // duplicate shape
+            "algos=paran1 shapes=4x8 ds=1,1",          // duplicate d
         ] {
             assert!(Grid::parse(bad).is_err(), "{bad} should fail");
         }
@@ -573,7 +629,7 @@ mod tests {
             "crash:50",
             "crash:100",
         ] {
-            assert!(build_adversary(key, 5, 5, 2, 1).is_ok(), "{key}");
+            assert!(build_adversary(key, 5, 5, 2, 1, 1_000).is_ok(), "{key}");
         }
     }
 
@@ -595,6 +651,45 @@ mod tests {
     #[test]
     fn crash_adversary_leaves_a_survivor() {
         // crash:100 on p=1 must not try to crash everyone.
-        assert!(build_adversary("crash:100", 1, 4, 2, 0).is_ok());
+        assert!(build_adversary("crash:100", 1, 4, 2, 0, 1_000).is_ok());
+        for p in 1..=9 {
+            assert!(crash_count(100, p) < p, "p={p}");
+            let survivors = crash_plan(100, p, 4 * p, 1_000)
+                .iter()
+                .filter(|c| c.is_none())
+                .count();
+            assert!(survivors >= 1, "p={p}");
+        }
+    }
+
+    #[test]
+    fn crash_count_rounds_half_up() {
+        // The old truncating division crashed nobody at p=5, pct=10.
+        assert_eq!(crash_count(10, 5), 1, "0.5 rounds up");
+        assert_eq!(crash_count(10, 4), 0, "0.4 rounds down");
+        assert_eq!(crash_count(50, 5), 3, "2.5 rounds up");
+        assert_eq!(crash_count(50, 8), 4);
+        assert_eq!(crash_count(0, 8), 0);
+        assert_eq!(crash_count(100, 8), 7, "capped at p − 1");
+    }
+
+    #[test]
+    fn crash_plan_fits_the_completion_window() {
+        // No run finishes before ⌈t/p⌉ ticks, so every scheduled crash
+        // must land in [1, ⌈t/p⌉] to be guaranteed to fire.
+        for (p, t, max_ticks) in [(8usize, 32usize, 2_000_000u64), (8, 32, 10), (3, 7, 4)] {
+            let plan = crash_plan(100, p, t, max_ticks);
+            let window = (t.div_ceil(p) as u64).min(max_ticks - 1).max(1);
+            let ticks: Vec<u64> = plan.iter().flatten().copied().collect();
+            assert_eq!(ticks.len(), crash_count(100, p));
+            assert!(
+                ticks.iter().all(|&tick| (1..=window).contains(&tick)),
+                "p={p} t={t} max_ticks={max_ticks}: {ticks:?} outside [1, {window}]"
+            );
+            assert_eq!(ticks[0], 1, "the first crash fires as early as possible");
+        }
+        // Old bug shape: a tiny tick budget must pull the stagger in.
+        let tight = crash_plan(100, 8, 1024, 5);
+        assert!(tight.iter().flatten().all(|&tick| tick <= 4));
     }
 }

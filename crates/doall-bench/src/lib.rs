@@ -21,11 +21,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compare;
 pub mod experiments;
 pub mod grid;
 pub mod output;
 pub mod sweep;
 
+pub use compare::{
+    compare, compare_files, load_result_set, parse_result_set, BaselineSet, CellDiff, CellKey,
+    CellStatus, CompareError, Comparison, MetricDelta, DIFF_SCHEMA_VERSION,
+};
 pub use experiments::{by_id, experiment_main, registry, run_experiment, suite_main, Experiment};
 pub use grid::{Cell, Grid, GridError};
 pub use output::{Flags, Format, Record, ResultSet, SCHEMA_VERSION};
@@ -59,28 +64,37 @@ impl Table {
         self.rows.push(cells);
     }
 
-    /// Prints the table as GitHub-flavoured Markdown.
-    pub fn print(&self) {
+    /// Renders the table as GitHub-flavoured Markdown (one trailing
+    /// newline per row; deterministic for identical content).
+    #[must_use]
+    pub fn render(&self) -> String {
         let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
         for row in &self.rows {
             for (w, cell) in widths.iter_mut().zip(row) {
                 *w = (*w).max(cell.len());
             }
         }
-        let line = |cells: &[String]| {
+        let mut out = String::new();
+        let line = |cells: &[String], out: &mut String| {
             let padded: Vec<String> = cells
                 .iter()
                 .zip(&widths)
                 .map(|(c, w)| format!("{c:>w$}"))
                 .collect();
-            println!("| {} |", padded.join(" | "));
+            out.push_str(&format!("| {} |\n", padded.join(" | ")));
         };
-        line(&self.headers);
+        line(&self.headers, &mut out);
         let dashes: Vec<String> = widths.iter().map(|w| format!("{:->w$}", "-")).collect();
-        println!("|-{}-|", dashes.join("-|-"));
+        out.push_str(&format!("|-{}-|\n", dashes.join("-|-")));
         for row in &self.rows {
-            line(row);
+            line(row, &mut out);
         }
+        out
+    }
+
+    /// Prints the table as GitHub-flavoured Markdown.
+    pub fn print(&self) {
+        print!("{}", self.render());
     }
 }
 

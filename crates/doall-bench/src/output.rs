@@ -39,7 +39,7 @@ pub struct ResultSet {
     pub records: Vec<Record>,
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -57,7 +57,7 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn json_number(v: f64) -> String {
+pub(crate) fn json_number(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {
@@ -191,7 +191,7 @@ pub enum Format {
 }
 
 /// The flags every experiment binary shares.
-#[derive(Debug, Clone, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Flags {
     /// Run the tiny smoke grid instead of the full one.
     pub smoke: bool,
@@ -205,6 +205,12 @@ pub struct Flags {
     pub max_ticks: Option<u64>,
     /// Restrict `all_experiments` to these ids.
     pub only: Option<Vec<String>>,
+    /// Compare results against this baseline file after the run; drift
+    /// makes the binary exit 1.
+    pub compare: Option<String>,
+    /// Drift tolerance for `--compare` (see
+    /// [`crate::compare::drifted`]); default 0 (exact).
+    pub tolerance: f64,
 }
 
 /// Usage text for the shared experiment flags.
@@ -217,6 +223,9 @@ Shared experiment flags:
   --threads N      worker threads (default: available parallelism)
   --max-ticks N    per-run tick cutoff override
   --only e05,e11   (all_experiments) run only the listed experiment ids
+  --compare PATH   diff results against this baseline JSON after the run
+                   (diff table on stderr; any drift makes the binary exit 1)
+  --tolerance X    relative drift tolerance for --compare (default 0 = exact)
   --help           print this help
 ";
 
@@ -272,6 +281,16 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
             }
             "--only" => {
                 flags.only = Some(value()?.split(',').map(str::to_string).collect());
+            }
+            "--compare" => flags.compare = Some(value()?),
+            "--tolerance" => {
+                let x: f64 = value()?
+                    .parse()
+                    .map_err(|_| "--tolerance needs a number".to_string())?;
+                if !x.is_finite() || x < 0.0 {
+                    return Err("--tolerance must be a finite non-negative number".to_string());
+                }
+                flags.tolerance = x;
             }
             "--help" | "-h" => return Err("help".to_string()),
             other => return Err(format!("unknown flag {other}; try --help")),
@@ -401,6 +420,11 @@ mod tests {
             parse_flags(&args("--only e01,e05")).unwrap().only,
             Some(vec!["e01".to_string(), "e05".to_string()])
         );
+        // --compare / --tolerance.
+        let f = parse_flags(&args("--compare base.json --tolerance 0.5")).unwrap();
+        assert_eq!(f.compare.as_deref(), Some("base.json"));
+        assert_eq!(f.tolerance, 0.5);
+        assert_eq!(parse_flags(&[]).unwrap().tolerance, 0.0);
     }
 
     #[test]
@@ -411,6 +435,10 @@ mod tests {
         assert!(parse_flags(&args("--threads 0")).is_err());
         assert!(parse_flags(&args("--threads many")).is_err());
         assert!(parse_flags(&args("--max-ticks 0")).is_err());
+        assert!(parse_flags(&args("--tolerance -0.1")).is_err());
+        assert!(parse_flags(&args("--tolerance nan")).is_err());
+        assert!(parse_flags(&args("--tolerance inf")).is_err());
+        assert!(parse_flags(&args("--compare")).is_err());
         assert!(parse_flags(&args("--out")).is_err());
         assert!(parse_flags(&args("--frobnicate")).is_err());
         assert_eq!(parse_flags(&args("--help")).unwrap_err(), "help");

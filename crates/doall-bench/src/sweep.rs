@@ -101,6 +101,13 @@ pub struct CellMeasurement {
     pub mean_primary: Option<f64>,
     /// Mean secondary (redundant) executions per run (trace mode only).
     pub mean_secondary: Option<f64>,
+    /// Scheduled crash count (`crash:<pct>` adversaries only) — the
+    /// *actual* count after rounding and the `p − 1` survivor cap, so
+    /// baselines capture how many crashes a cell really exercised.
+    pub crash_count: Option<f64>,
+    /// Mean number of scheduled crashes that fired before σ, per
+    /// replicate (`crash:<pct>` adversaries only).
+    pub mean_crashes_fired: Option<f64>,
 }
 
 impl CellMeasurement {
@@ -127,6 +134,12 @@ impl CellMeasurement {
         }
         if let Some(secondary) = self.mean_secondary {
             metrics.insert("mean_secondary".to_string(), secondary);
+        }
+        if let Some(count) = self.crash_count {
+            metrics.insert("crash_count".to_string(), count);
+        }
+        if let Some(fired) = self.mean_crashes_fired {
+            metrics.insert("mean_crashes_fired".to_string(), fired);
         }
         metrics
     }
@@ -199,6 +212,8 @@ pub fn run_cell(cell: &Cell, cfg: &SweepConfig) -> Result<CellMeasurement, Sweep
             summary: None,
             mean_primary: None,
             mean_secondary: None,
+            crash_count: None,
+            mean_crashes_fired: None,
         });
     }
     let instance =
@@ -219,7 +234,8 @@ pub fn run_cell(cell: &Cell, cfg: &SweepConfig) -> Result<CellMeasurement, Sweep
         for k in 0..cell.seeds {
             let seed = cell.run_seed(k);
             let algo = build_algorithm(&cell.algo, instance, seed).expect("validated above");
-            let adversary = build_adversary(&cell.adversary, cell.p, cell.t, cell.d, seed)?;
+            let adversary =
+                build_adversary(&cell.adversary, cell.p, cell.t, cell.d, seed, cfg.max_ticks)?;
             let (report, trace) = Simulation::new(instance, algo.spawn(instance), adversary)
                 .max_ticks(cfg.max_ticks)
                 .with_trace(TRACE_CAPACITY)
@@ -240,8 +256,15 @@ pub fn run_cell(cell: &Cell, cfg: &SweepConfig) -> Result<CellMeasurement, Sweep
                     .spawn(instance)
             },
             |k| {
-                build_adversary(&cell.adversary, cell.p, cell.t, cell.d, cell.run_seed(k))
-                    .expect("validated before spawning workers")
+                build_adversary(
+                    &cell.adversary,
+                    cell.p,
+                    cell.t,
+                    cell.d,
+                    cell.run_seed(k),
+                    cfg.max_ticks,
+                )
+                .expect("validated before spawning workers")
             },
         );
     }
@@ -255,12 +278,60 @@ pub fn run_cell(cell: &Cell, cfg: &SweepConfig) -> Result<CellMeasurement, Sweep
         });
     }
     let runs = cell.seeds as f64;
+    let (crash_count, mean_crashes_fired) = crash_stats(cell, cfg, &reports);
     Ok(CellMeasurement {
         cell: cell.clone(),
         summary: Some(summarize(&reports)),
         mean_primary: cfg.trace.then(|| primary_total as f64 / runs),
         mean_secondary: cfg.trace.then(|| secondary_total as f64 / runs),
+        crash_count,
+        mean_crashes_fired,
     })
+}
+
+/// For `crash:<pct>` cells: the scheduled crash count and the mean
+/// number of crashes that fired (crash tick ≤ σ) across the replicates;
+/// `(None, None)` for every other adversary.
+///
+/// The crash plan is deterministic in the cell's parameters and tick
+/// budget (see [`crate::grid::crash_plan`]), so it can be recomputed
+/// here from the completed reports instead of being threaded out of the
+/// adversary.
+///
+/// # Panics
+///
+/// Panics if crashes were scheduled but none fired in some replicate
+/// (for `t ≥ 2`, where at least the first crash provably lands before
+/// σ) — a "crash" cell that exercises no crashes would quietly measure
+/// the wrong scenario, which is exactly the bug this guards against.
+fn crash_stats(
+    cell: &Cell,
+    cfg: &SweepConfig,
+    reports: &[doall_core::RunReport],
+) -> (Option<f64>, Option<f64>) {
+    let Some(pct) = cell.adversary.strip_prefix("crash:") else {
+        return (None, None);
+    };
+    let pct: u64 = pct.parse().expect("validated");
+    let plan = crate::grid::crash_plan(pct, cell.p, cell.t, cfg.max_ticks);
+    let scheduled = plan.iter().flatten().count();
+    let mut fired_total = 0usize;
+    for report in reports {
+        let sigma = report.sigma.expect("incomplete runs error out above");
+        let fired = plan.iter().flatten().filter(|&&at| at <= sigma).count();
+        assert!(
+            scheduled == 0 || cell.t < 2 || fired >= 1,
+            "crash cell exercised no crashes: {} p={} t={} scheduled={scheduled} σ={sigma}",
+            cell.adversary,
+            cell.p,
+            cell.t,
+        );
+        fired_total += fired;
+    }
+    (
+        Some(scheduled as f64),
+        Some(fired_total as f64 / reports.len() as f64),
+    )
 }
 
 #[cfg(test)]
@@ -340,6 +411,32 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, SweepError::Incomplete { .. }), "{err}");
         assert!(err.to_string().contains("max-ticks"));
+    }
+
+    #[test]
+    fn crash_cells_record_and_exercise_crashes() {
+        let cells = Grid::parse("algos=paran1 advs=crash:50,crash:0 shapes=4x16 ds=2 seeds=2")
+            .unwrap()
+            .cells();
+        let out = run_cells(&cells, &SweepConfig::default()).unwrap();
+        let m50 = out[0].metrics();
+        assert_eq!(m50["crash_count"], 2.0, "crash:50 of p=4, rounded");
+        assert!(
+            m50["mean_crashes_fired"] >= 1.0,
+            "every replicate must exercise at least one crash: {m50:?}"
+        );
+        assert!(m50["mean_crashes_fired"] <= m50["crash_count"]);
+        let m0 = out[1].metrics();
+        assert_eq!(m0["crash_count"], 0.0);
+        assert_eq!(m0["mean_crashes_fired"], 0.0);
+        // Non-crash adversaries carry no crash metrics at all.
+        let plain = run_cells(
+            &Grid::parse("algos=paran1 shapes=4x8").unwrap().cells(),
+            &SweepConfig::default(),
+        )
+        .unwrap();
+        assert!(!plain[0].metrics().contains_key("crash_count"));
+        assert!(!plain[0].metrics().contains_key("mean_crashes_fired"));
     }
 
     #[test]

@@ -19,8 +19,13 @@ fn main() {
             std::process::exit(2);
         }
     };
-    if let Err(e) = cli::execute(&command) {
-        eprintln!("error: {e}");
-        std::process::exit(1);
+    match cli::execute(&command) {
+        Ok(cli::Outcome::Clean) => {}
+        // diff-style exit codes: 1 = baseline drift, 2 = trouble.
+        Ok(cli::Outcome::Drift) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
     }
 }

@@ -4,9 +4,13 @@
 //!
 //! * `simulate` — run one execution and print the report;
 //! * `sweep`    — run a scenario grid (algorithm × adversary × shape × d)
-//!   through the parallel sweep harness, with table/JSON/CSV output;
+//!   through the parallel sweep harness, with table/JSON/CSV output and
+//!   optional baseline comparison (`--compare`);
+//! * `compare`  — diff two sweep-result JSON files cell by cell;
 //! * `contention` — contention report for a random schedule list;
 //! * `bounds`   — print every closed-form bound for `(p, t, d)`.
+//!
+//! Exit codes follow `diff`: 0 clean, 1 baseline drift, 2 errors.
 //!
 //! The parser is hand-rolled (no CLI dependency) and exposed here so it
 //! can be unit-tested; `src/bin/doall.rs` is a thin wrapper. Algorithm
@@ -18,6 +22,7 @@ use crate::bounds;
 use crate::perms::Schedules;
 use crate::sim::{Adversary, Simulation};
 use crate::Instance;
+use doall_bench::compare::{compare, compare_files, load_result_set, BaselineSet};
 use doall_bench::grid::{
     build_adversary, build_algorithm, validate_adversary_key, validate_algo_key, Grid,
 };
@@ -25,13 +30,29 @@ use doall_bench::output::{emit, Flags, Format, Record, ResultSet};
 use doall_bench::sweep::{run_cells, SweepConfig};
 use std::fmt;
 
+/// Tick budget for `simulate` and CLI sweeps (generous: the CLI accepts
+/// paper-scale lower-bound scenarios that legitimately run long).
+pub const CLI_MAX_TICKS: u64 = 50_000_000;
+
+/// What a successfully executed command concluded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Nothing to flag; the process exits 0.
+    Clean,
+    /// A baseline comparison found drift (or added/removed cells); the
+    /// process exits 1, `diff`-style — 2 stays reserved for errors.
+    Drift,
+}
+
 /// A parsed invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// Run one simulated execution.
     Simulate(RunSpec),
     /// Run a scenario grid through the parallel sweep harness.
     Sweep(SweepSpec),
+    /// Diff two sweep-result JSON files cell by cell.
+    Compare(CompareSpec),
     /// Contention report for a random list of `p` schedules over `[n]`.
     Contention {
         /// Number of schedules.
@@ -56,7 +77,7 @@ pub enum Command {
 
 /// Parameters of the `sweep` subcommand: a grid plus execution/output
 /// options shared with the experiment binaries.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SweepSpec {
     /// The scenario grid to run.
     pub grid: Grid,
@@ -67,6 +88,27 @@ pub struct SweepSpec {
     /// Output format.
     pub format: Format,
     /// Write output here instead of stdout.
+    pub out: Option<String>,
+    /// Baseline file to diff the results against after the run (diff
+    /// table on stderr; drift exits 1).
+    pub compare: Option<String>,
+    /// Drift tolerance for `--compare` (default 0 — results are
+    /// deterministic, so any drift on an unchanged grid is a regression).
+    pub tolerance: f64,
+}
+
+/// Parameters of the `compare` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompareSpec {
+    /// Baseline result-set file.
+    pub old: String,
+    /// New result-set file.
+    pub new: String,
+    /// Drift tolerance (default 0 = exact).
+    pub tolerance: f64,
+    /// Emit the machine-readable diff document instead of the table.
+    pub json: bool,
+    /// Write the rendered diff here instead of stdout.
     pub out: Option<String>,
 }
 
@@ -111,8 +153,10 @@ USAGE:
   doall simulate   --algo A -p P -t T -d D [--adversary ADV] [--seed S]
   doall sweep      --grid 'algos=A,... advs=ADV,... shapes=PxT,... ds=D,... seeds=K seed=S'
                    [--threads N] [--max-ticks N] [--json|--csv] [--out PATH]
+                   [--compare BASELINE.json] [--tolerance X]
   doall sweep      --algo A -p P -t T [-d D] [--adversary ADV] [--seed S]
                    (single-algorithm shorthand; no -d sweeps d = 1,2,4,… up to t)
+  doall compare    OLD.json NEW.json [--tolerance X] [--json] [--out PATH]
   doall contention -p P -n N [--seed S]
   doall bounds     -p P -t T -d D
   doall help
@@ -128,6 +172,12 @@ Sweeps run on the doall-bench harness: cells execute in parallel across a
 thread pool with per-cell deterministic seeding, so --threads changes
 wall-clock only, never a number. --json / --csv emit the machine-readable
 schema CI archives (see BENCH_sweep.json).
+
+`compare` (and `sweep --compare`) matches cells of two result sets by
+(experiment, algo, adversary, p, t, d, seeds) and classifies each as
+exact, drift, added, or removed. Results are deterministic, so the
+default --tolerance is 0: any value drift on an unchanged grid is a
+regression. Exit codes follow diff: 0 clean, 1 drift, 2 errors.
 ";
 
 /// Parses an argument vector (without the program name).
@@ -192,6 +242,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut max_ticks = None;
             let mut format = Format::Table;
             let mut out = None;
+            let mut compare = None;
+            let mut tolerance = 0.0f64;
             while let Some(flag) = it.next() {
                 let mut value = || {
                     it.next()
@@ -236,6 +288,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                         format = Format::Csv;
                     }
                     "--out" => out = Some(value()?.clone()),
+                    "--compare" => compare = Some(value()?.clone()),
+                    "--tolerance" => tolerance = parse_tolerance(value()?)?,
                     other => return Err(err(format!("unknown flag {other}"))),
                 }
             }
@@ -288,6 +342,43 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 threads,
                 max_ticks,
                 format,
+                out,
+                compare,
+                tolerance,
+            }))
+        }
+        "compare" => {
+            let mut files: Vec<String> = Vec::new();
+            let mut tolerance = 0.0f64;
+            let mut json = false;
+            let mut out = None;
+            while let Some(arg) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| err(format!("flag {arg} needs a value")))
+                };
+                match arg.as_str() {
+                    "--tolerance" => tolerance = parse_tolerance(value()?)?,
+                    "--json" => json = true,
+                    "--out" => out = Some(value()?.clone()),
+                    flag if flag.starts_with('-') => {
+                        return Err(err(format!("unknown flag {flag}")));
+                    }
+                    _ => files.push(arg.clone()),
+                }
+            }
+            if files.len() != 2 {
+                return Err(err(format!(
+                    "compare takes exactly two files (OLD.json NEW.json), got {}",
+                    files.len()
+                )));
+            }
+            let mut files = files.into_iter();
+            Ok(Command::Compare(CompareSpec {
+                old: files.next().expect("two files"),
+                new: files.next().expect("two files"),
+                tolerance,
+                json,
                 out,
             }))
         }
@@ -342,6 +433,16 @@ fn parse_num(s: &str, flag: &str) -> Result<usize, CliError> {
         .map_err(|_| err(format!("{flag}: `{s}` is not a positive integer")))
 }
 
+fn parse_tolerance(s: &str) -> Result<f64, CliError> {
+    let x: f64 = s
+        .parse()
+        .map_err(|_| err(format!("--tolerance: `{s}` is not a number")))?;
+    if !x.is_finite() || x < 0.0 {
+        return Err(err("--tolerance must be a finite non-negative number"));
+    }
+    Ok(x)
+}
+
 impl RunSpec {
     fn validate(&self) -> Result<(), CliError> {
         if self.p == 0 || self.t == 0 {
@@ -380,21 +481,32 @@ impl RunSpec {
     ///
     /// Returns a [`CliError`] for an unknown key.
     pub fn adversary(&self) -> Result<Box<dyn Adversary>, CliError> {
-        build_adversary(&self.adversary, self.p, self.t, self.d, self.seed)
-            .map_err(|e| err(format!("{e}; try `doall help`")))
+        build_adversary(
+            &self.adversary,
+            self.p,
+            self.t,
+            self.d,
+            self.seed,
+            CLI_MAX_TICKS,
+        )
+        .map_err(|e| err(format!("{e}; try `doall help`")))
     }
 }
 
 /// Executes a parsed command, writing human-readable output to stdout.
+/// Baseline-comparison diffs from `sweep --compare` go to stderr (stdout
+/// may already carry the results).
 ///
 /// # Errors
 ///
 /// Returns a [`CliError`] for invalid parameters or non-completing runs.
-pub fn execute(command: &Command) -> Result<(), CliError> {
+/// Baseline drift is not an error: it is the [`Outcome::Drift`] success
+/// value, so callers can map it to exit code 1 rather than 2.
+pub fn execute(command: &Command) -> Result<Outcome, CliError> {
     match command {
         Command::Help => {
             println!("{USAGE}");
-            Ok(())
+            Ok(Outcome::Clean)
         }
         Command::Simulate(spec) => {
             let instance =
@@ -420,12 +532,12 @@ pub fn execute(command: &Command) -> Result<(), CliError> {
             if !report.completed {
                 return Err(err("run did not complete within the tick budget"));
             }
-            Ok(())
+            Ok(Outcome::Clean)
         }
         Command::Sweep(spec) => {
             let cells = spec.grid.cells();
             let mut cfg = SweepConfig {
-                max_ticks: spec.max_ticks.unwrap_or(50_000_000),
+                max_ticks: spec.max_ticks.unwrap_or(CLI_MAX_TICKS),
                 ..SweepConfig::default()
             };
             if let Some(threads) = spec.threads {
@@ -461,7 +573,36 @@ pub fn execute(command: &Command) -> Result<(), CliError> {
             if spec.format == Format::Table {
                 println!("sweep | {}", spec.grid);
             }
-            emit(&results, &flags).map_err(err)
+            emit(&results, &flags).map_err(err)?;
+            if let Some(baseline_path) = &spec.compare {
+                let baseline = load_result_set(baseline_path).map_err(|e| err(e.to_string()))?;
+                let current = BaselineSet::of(&results);
+                let comparison = compare(&baseline, &current, spec.tolerance);
+                eprint!("{}", comparison.render_text());
+                if !comparison.is_clean() {
+                    return Ok(Outcome::Drift);
+                }
+            }
+            Ok(Outcome::Clean)
+        }
+        Command::Compare(spec) => {
+            let comparison = compare_files(&spec.old, &spec.new, spec.tolerance)
+                .map_err(|e| err(e.to_string()))?;
+            let rendered = if spec.json {
+                comparison.render_json()
+            } else {
+                comparison.render_text()
+            };
+            match &spec.out {
+                Some(path) => std::fs::write(path, rendered)
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?,
+                None => print!("{rendered}"),
+            }
+            Ok(if comparison.is_clean() {
+                Outcome::Clean
+            } else {
+                Outcome::Drift
+            })
         }
         Command::Contention { p, n, seed } => {
             if *p == 0 || *n == 0 {
@@ -491,7 +632,7 @@ pub fn execute(command: &Command) -> Result<(), CliError> {
                 );
                 d *= 2;
             }
-            Ok(())
+            Ok(Outcome::Clean)
         }
         Command::Bounds { p, t, d } => {
             if *p == 0 || *t == 0 || *d == 0 {
@@ -518,7 +659,7 @@ pub fn execute(command: &Command) -> Result<(), CliError> {
                 "  oblivious ceiling p·t:      {:.0}",
                 bounds::oblivious_work(*p, *t)
             );
-            Ok(())
+            Ok(Outcome::Clean)
         }
     }
 }
@@ -759,6 +900,110 @@ mod tests {
             "algos=frobnicate shapes=4x8".to_string(),
         ];
         assert!(parse(&bad_grid).is_err());
+    }
+
+    #[test]
+    fn parses_compare_subcommand() {
+        assert_eq!(
+            parse(&args("compare old.json new.json")).unwrap(),
+            Command::Compare(CompareSpec {
+                old: "old.json".to_string(),
+                new: "new.json".to_string(),
+                tolerance: 0.0,
+                json: false,
+                out: None,
+            })
+        );
+        assert_eq!(
+            parse(&args(
+                "compare --tolerance 0.05 old.json --json new.json --out diff.txt"
+            ))
+            .unwrap(),
+            Command::Compare(CompareSpec {
+                old: "old.json".to_string(),
+                new: "new.json".to_string(),
+                tolerance: 0.05,
+                json: true,
+                out: Some("diff.txt".to_string()),
+            })
+        );
+        assert!(parse(&args("compare one.json")).is_err(), "needs two files");
+        assert!(parse(&args("compare a b c")).is_err(), "too many files");
+        assert!(parse(&args("compare a b --tolerance -1")).is_err());
+        assert!(parse(&args("compare a b --frob")).is_err());
+    }
+
+    #[test]
+    fn sweep_parses_compare_and_tolerance() {
+        let cmd = parse(&args(
+            "sweep --algo soloall -p 2 -t 4 --compare base.json --tolerance 0.1",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Sweep(spec) => {
+                assert_eq!(spec.compare.as_deref(), Some("base.json"));
+                assert_eq!(spec.tolerance, 0.1);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("sweep --algo soloall -p 2 -t 4 --tolerance x")).is_err());
+    }
+
+    #[test]
+    fn execute_compare_and_sweep_compare_report_drift_via_outcome() {
+        let dir = std::env::temp_dir();
+        let base = dir.join(format!("doall_cli_compare_{}.json", std::process::id()));
+        let base = base.to_str().unwrap().to_string();
+        // A sweep writes its own baseline...
+        let sweep = format!("sweep --algo soloall -p 2 -t 4 -d 1 --out {base}");
+        assert_eq!(
+            execute(&parse(&args(&sweep)).unwrap()).unwrap(),
+            Outcome::Clean
+        );
+        // ...against which an identical rerun is clean, cell for cell.
+        let rerun = format!("sweep --algo soloall -p 2 -t 4 -d 1 --out {base}.2 --compare {base}");
+        assert_eq!(
+            execute(&parse(&args(&rerun)).unwrap()).unwrap(),
+            Outcome::Clean
+        );
+        assert_eq!(
+            execute(&parse(&args(&format!("compare {base} {base}.2"))).unwrap()).unwrap(),
+            Outcome::Clean
+        );
+        // Doctoring one value turns both paths into drift.
+        let doctored = std::fs::read_to_string(&base).unwrap().replacen(
+            "\"mean_work\": ",
+            "\"mean_work\": 9",
+            1,
+        );
+        std::fs::write(&base, doctored).unwrap();
+        assert_eq!(
+            execute(&parse(&args(&rerun)).unwrap()).unwrap(),
+            Outcome::Drift
+        );
+        let diff_out = format!("{base}.diff");
+        assert_eq!(
+            execute(&parse(&args(&format!("compare {base} {base}.2 --out {diff_out}"))).unwrap())
+                .unwrap(),
+            Outcome::Drift
+        );
+        let table = std::fs::read_to_string(&diff_out).unwrap();
+        assert!(table.contains("drift"), "{table}");
+        assert!(table.contains("mean_work"), "{table}");
+        // A huge tolerance swallows the doctored delta.
+        assert_eq!(
+            execute(&parse(&args(&format!("compare {base} {base}.2 --tolerance 1000"))).unwrap())
+                .unwrap(),
+            Outcome::Clean
+        );
+        // Missing files are errors (exit 2), not drift (exit 1).
+        assert!(
+            execute(&parse(&args("compare /nonexistent/a.json /nonexistent/b.json")).unwrap())
+                .is_err()
+        );
+        for f in [base.clone(), format!("{base}.2"), diff_out] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 
     #[test]
