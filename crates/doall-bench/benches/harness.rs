@@ -1,0 +1,80 @@
+//! Criterion bench on the sweep harness *itself* (not the algorithms):
+//! cells/second through the engine, the scaling curve vs `--threads`,
+//! and intra-cell replicate sharding on a single big cell — so engine
+//! regressions (scheduling overhead, merge cost, a serialization point)
+//! show up in the same place as algorithm regressions.
+//!
+//! Results are deterministic across thread counts and shard sizes, so
+//! the different configurations measure the same computation; only the
+//! orchestration differs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use doall_bench::grid::Grid;
+use doall_bench::sweep::{run_cells, run_cells_with_stats, SweepConfig};
+use std::hint::black_box;
+
+/// Many small cells: cross-cell parallelism (the PR 2 regime).
+fn many_cells() -> Grid {
+    Grid::parse("algos=paran1,paran2,padet advs=stage,random shapes=8x32 ds=1,4 seeds=4 seed=2")
+        .expect("valid grid")
+}
+
+/// One big cell: intra-cell replicate sharding is the only parallelism.
+fn one_big_cell() -> Grid {
+    Grid::parse("algos=paran1 advs=stage shapes=64x256 ds=4 seeds=16 seed=2").expect("valid grid")
+}
+
+fn bench_harness(c: &mut Criterion) {
+    let mut group = c.benchmark_group("harness");
+    group.sample_size(10);
+
+    // Cells/second baseline and the scaling curve vs --threads.
+    let cells = many_cells().cells();
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(
+            format!("cells/{}cells/threads={threads}", cells.len()),
+            |b| {
+                b.iter(|| {
+                    black_box(
+                        run_cells(
+                            &cells,
+                            &SweepConfig {
+                                threads,
+                                ..SweepConfig::default()
+                            },
+                        )
+                        .expect("grid runs"),
+                    )
+                });
+            },
+        );
+    }
+
+    // The tentpole case: a single huge cell, whole-cell vs auto-sharded.
+    // Before intra-cell sharding, threads>1 could not help here at all.
+    let big = one_big_cell().cells();
+    for (label, threads, shard_size) in [
+        ("whole-cell/threads=1", 1usize, Some(u64::MAX)),
+        ("auto-shard/threads=4", 4, None),
+        ("shard=1/threads=4", 4, Some(1)),
+    ] {
+        group.bench_function(format!("one-cell/seeds=16/{label}"), |b| {
+            b.iter(|| {
+                let (out, stats) = run_cells_with_stats(
+                    &big,
+                    &SweepConfig {
+                        threads,
+                        shard_size,
+                        ..SweepConfig::default()
+                    },
+                )
+                .expect("grid runs");
+                black_box((out, stats))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_harness);
+criterion_main!(benches);

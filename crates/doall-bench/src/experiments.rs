@@ -574,6 +574,7 @@ pub fn run_experiment(exp: &Experiment, flags: &Flags) -> Result<Vec<Record>, St
         threads: flags.threads.unwrap_or_else(default_threads),
         max_ticks: flags.max_ticks.unwrap_or(exp.max_ticks),
         trace: exp.trace,
+        shard_size: flags.shard_size,
     };
     let measurements = run_cells(&cells, &cfg).map_err(|e| format!("{}: {e}", exp.id))?;
     let mut records = Vec::with_capacity(measurements.len());

@@ -5,8 +5,8 @@
 //! Each experiment is a thin binary under `src/bin/` that calls
 //! [`experiment_main`]; `all_experiments` runs the whole registry
 //! in-process via [`suite_main`]. All binaries share the same flags
-//! (`--smoke`, `--json`, `--csv`, `--threads N`, `--out PATH`,
-//! `--max-ticks N`) — see [`output::FLAGS_USAGE`].
+//! (`--smoke`, `--json`, `--csv`, `--threads N`, `--shard-size N`,
+//! `--out PATH`, `--max-ticks N`) — see [`output::FLAGS_USAGE`].
 //!
 //! ```text
 //! cargo run --release -p doall-bench --bin all_experiments            # full tables
@@ -34,7 +34,10 @@ pub use compare::{
 pub use experiments::{by_id, experiment_main, registry, run_experiment, suite_main, Experiment};
 pub use grid::{Cell, Grid, GridError};
 pub use output::{Flags, Format, Record, ResultSet, SCHEMA_VERSION};
-pub use sweep::{run_cells, CellMeasurement, SweepConfig, SweepError};
+pub use sweep::{
+    effective_shard_size, run_cells, run_cells_with_stats, CellMeasurement, SweepConfig,
+    SweepError, SweepStats,
+};
 
 /// A Markdown table accumulated row by row and printed to stdout.
 #[derive(Debug, Default)]

@@ -201,6 +201,10 @@ pub struct Flags {
     pub out: Option<String>,
     /// Worker threads (default: available parallelism).
     pub threads: Option<usize>,
+    /// Replicates per shard (default: auto — see
+    /// [`crate::sweep::SweepConfig::shard_size`]). Wall-clock only; never
+    /// a number.
+    pub shard_size: Option<u64>,
     /// Tick cutoff override.
     pub max_ticks: Option<u64>,
     /// Restrict `all_experiments` to these ids.
@@ -221,6 +225,8 @@ Shared experiment flags:
   --csv            emit long-format CSV (one row per cell × metric)
   --out PATH       write output to PATH instead of stdout
   --threads N      worker threads (default: available parallelism)
+  --shard-size N   replicates per scheduled shard (default: auto — one big
+                   cell splits across workers; results never change)
   --max-ticks N    per-run tick cutoff override
   --only e05,e11   (all_experiments) run only the listed experiment ids
   --compare PATH   diff results against this baseline JSON after the run
@@ -269,6 +275,15 @@ pub fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     return Err("--threads must be at least 1".to_string());
                 }
                 flags.threads = Some(n);
+            }
+            "--shard-size" => {
+                let n: u64 = value()?
+                    .parse()
+                    .map_err(|_| "--shard-size needs a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--shard-size must be at least 1".to_string());
+                }
+                flags.shard_size = Some(n);
             }
             "--max-ticks" => {
                 let n: u64 = value()?
@@ -404,10 +419,14 @@ mod tests {
     #[test]
     fn flags_parse_and_default() {
         let args = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
-        let f = parse_flags(&args("--smoke --json --threads 4 --out x.json")).unwrap();
+        let f = parse_flags(&args(
+            "--smoke --json --threads 4 --shard-size 2 --out x.json",
+        ))
+        .unwrap();
         assert!(f.smoke);
         assert_eq!(f.format, Format::Json);
         assert_eq!(f.threads, Some(4));
+        assert_eq!(f.shard_size, Some(2));
         assert_eq!(f.out.as_deref(), Some("x.json"));
         assert_eq!(parse_flags(&[]).unwrap(), Flags::default());
         // --out implies JSON when no format given.
@@ -434,6 +453,9 @@ mod tests {
         assert!(parse_flags(&args("--csv --json")).is_err());
         assert!(parse_flags(&args("--threads 0")).is_err());
         assert!(parse_flags(&args("--threads many")).is_err());
+        assert!(parse_flags(&args("--shard-size 0")).is_err());
+        assert!(parse_flags(&args("--shard-size some")).is_err());
+        assert!(parse_flags(&args("--shard-size")).is_err());
         assert!(parse_flags(&args("--max-ticks 0")).is_err());
         assert!(parse_flags(&args("--tolerance -0.1")).is_err());
         assert!(parse_flags(&args("--tolerance nan")).is_err());

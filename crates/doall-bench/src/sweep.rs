@@ -1,24 +1,47 @@
 //! The parallel sweep engine: executes the cells of one or more grids
-//! across a scoped thread pool, with results slotted by cell index so the
-//! output is bit-identical regardless of thread count.
+//! across a scoped thread pool, with results slotted by position so the
+//! output is bit-identical regardless of thread count **and** shard size.
 //!
-//! Work distribution is a shared atomic cursor over the cell list — each
-//! worker claims the next unclaimed cell, runs its full replicate batch
-//! via [`Simulation::run_batch`], and writes the measurement into its
-//! slot. Because every seed is derived from the cell's own parameters
-//! (see [`crate::grid::Cell::run_seed`]), neither the claim order nor the
-//! worker count can influence a single number in the results.
+//! The unit of scheduled work is a *(cell, replicate-chunk)* shard, not a
+//! whole cell: a shared atomic cursor walks a flattened shard list, each
+//! worker runs its chunk of a cell's seeds via [`Simulation::run_batch`]
+//! (or the traced equivalent), and the per-shard [`RunReport`]s are merged
+//! back **in replicate order** before [`summarize`] / profile averaging.
+//! Because every replicate's seed derives from the cell's own parameters
+//! and the replicate's absolute index (see [`crate::grid::Cell::run_seed`]),
+//! neither the claim order, the worker count, nor the shard boundaries can
+//! influence a single number in the results — a single huge cell (e.g.
+//! `p = 4096, seeds = 32`) now spreads across every worker instead of
+//! pinning one thread.
+//!
+//! [`RunReport`]: doall_core::RunReport
 
 use crate::grid::{build_adversary, build_algorithm, Cell, GridError, ALGO_NONE};
 use doall_core::Instance;
-use doall_sim::analysis::{execution_profile, summarize, BatchSummary};
-use doall_sim::{Simulation, DEFAULT_MAX_TICKS};
+use doall_sim::analysis::{execution_profile, summarize, BatchSummary, ProfilePartial};
+use doall_sim::{Simulation, Trace, DEFAULT_MAX_TICKS};
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-/// Trace capacity used when an experiment asks for execution profiles.
+/// Ceiling on trace capacity when an experiment asks for execution
+/// profiles. The per-run capacity is sized from the cell's shape and the
+/// tick budget (see [`trace_capacity`]) and clamped to this, and the
+/// buffer itself is recycled across a worker's replicates rather than
+/// reallocated per run.
 const TRACE_CAPACITY: usize = 4_000_000;
+
+/// Trace capacity for a `(p, max_ticks)` run: at most one step event and
+/// one send event per processor per tick, plus the completion event,
+/// clamped to [`TRACE_CAPACITY`].
+fn trace_capacity(p: usize, max_ticks: u64) -> usize {
+    let per_tick = (p as u64).saturating_mul(2);
+    let events = max_ticks.saturating_mul(per_tick).saturating_add(1);
+    usize::try_from(events)
+        .unwrap_or(TRACE_CAPACITY)
+        .min(TRACE_CAPACITY)
+}
 
 /// How to execute a sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +53,14 @@ pub struct SweepConfig {
     /// Collect execution traces and report primary/secondary execution
     /// counts (Section 4 analysis) for every simulated cell.
     pub trace: bool,
+    /// Replicates per shard (`None` = auto). Affects wall-clock only,
+    /// never results: shard boundaries are invisible in the output.
+    ///
+    /// Auto picks `ceil(seeds / threads)` when there are fewer cells than
+    /// workers (so one big cell spreads over every thread) and whole-cell
+    /// shards otherwise (cross-cell parallelism already saturates the
+    /// pool, and coarser shards mean less claim traffic).
+    pub shard_size: Option<u64>,
 }
 
 impl Default for SweepConfig {
@@ -38,6 +69,7 @@ impl Default for SweepConfig {
             threads: default_threads(),
             max_ticks: DEFAULT_MAX_TICKS,
             trace: false,
+            shard_size: None,
         }
     }
 }
@@ -59,7 +91,11 @@ pub enum SweepError {
     Incomplete {
         /// The offending cell, rendered for the error message.
         cell: String,
-        /// The replicate seed index that failed.
+        /// The replicate index (`0..seeds`) that failed.
+        replicate: u64,
+        /// The actual derived seed of that replicate
+        /// ([`Cell::run_seed`]`(replicate)`) — what `--seed`-style
+        /// reproduction needs, as opposed to the position above.
         seed: u64,
     },
     /// The instance shape was invalid.
@@ -70,10 +106,14 @@ impl fmt::Display for SweepError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SweepError::Bad(e) => write!(f, "{e}"),
-            SweepError::Incomplete { cell, seed } => write!(
+            SweepError::Incomplete {
+                cell,
+                replicate,
+                seed,
+            } => write!(
                 f,
-                "run did not complete within the tick budget (cell {cell}, seed {seed}); \
-                 raise --max-ticks"
+                "run did not complete within the tick budget (cell {cell}, replicate \
+                 {replicate}, seed {seed}); raise --max-ticks"
             ),
             SweepError::Instance(msg) => write!(f, "bad instance: {msg}"),
         }
@@ -145,113 +185,250 @@ impl CellMeasurement {
     }
 }
 
+/// What the engine did to run a sweep — shard and worker accounting for
+/// tests and the harness benches. None of it ever reaches the output
+/// schema (results must stay byte-identical across `--threads` and
+/// `--shard-size`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Shards scheduled (simulated cells only; `none` cells run nothing).
+    pub shards: usize,
+    /// Workers spawned: `min(threads, shards)`, at least 1.
+    pub workers: usize,
+    /// Workers that claimed at least one shard.
+    pub workers_engaged: usize,
+}
+
+/// One unit of scheduled work: replicates `start .. start + len` of cell
+/// `cells[cell]`, writing into merge slot `slot` of that cell.
+#[derive(Debug, Clone, Copy)]
+struct Shard {
+    cell: usize,
+    slot: usize,
+    start: u64,
+    len: u64,
+}
+
+/// What a shard produced: its chunk's reports (in replicate order) and,
+/// in trace mode, the mergeable profile partial.
+struct ShardOutput {
+    reports: Vec<doall_core::RunReport>,
+    profile: Option<ProfilePartial>,
+}
+
+/// The shard size the engine actually uses for a sweep of `cell_count`
+/// *simulated* cells (derive-only `none` cells schedule no work and must
+/// not be counted) with `seeds` replicates each: the explicit
+/// `shard_size` clamped to `[1, seeds]`, or the auto rule (see
+/// [`SweepConfig::shard_size`]).
+#[must_use]
+pub fn effective_shard_size(cell_count: usize, seeds: u64, cfg: &SweepConfig) -> u64 {
+    let threads = cfg.threads.max(1);
+    match cfg.shard_size {
+        Some(size) => size.clamp(1, seeds.max(1)),
+        None if cell_count < threads => seeds.div_ceil(threads as u64).max(1),
+        None => seeds,
+    }
+}
+
+/// Splits every simulated cell into replicate-chunk shards.
+fn plan_shards(cells: &[Cell], cfg: &SweepConfig) -> Vec<Shard> {
+    // The auto rule sizes shards by the cells that actually schedule
+    // work: derive-only `none` cells run nothing, so counting them would
+    // keep whole-cell shards (and one pinned thread) on grids that mix
+    // combinatorial baseline rows with a few big simulated cells.
+    let simulated = cells.iter().filter(|c| c.algo != ALGO_NONE).count();
+    let mut shards = Vec::new();
+    for (cell_idx, cell) in cells.iter().enumerate() {
+        if cell.algo == ALGO_NONE {
+            continue;
+        }
+        let size = effective_shard_size(simulated, cell.seeds, cfg);
+        let mut start = 0u64;
+        let mut slot = 0usize;
+        while start < cell.seeds {
+            let len = size.min(cell.seeds - start);
+            shards.push(Shard {
+                cell: cell_idx,
+                slot,
+                start,
+                len,
+            });
+            start += len;
+            slot += 1;
+        }
+    }
+    shards
+}
+
 /// Runs every cell, in parallel across `cfg.threads` workers.
 ///
-/// Results come back in cell order. The first error (bad key, invalid
-/// instance, or a run that hit the tick cutoff) aborts the sweep.
+/// Results come back in cell order, with each cell's replicates merged in
+/// replicate order — output is byte-identical across any `threads` ×
+/// `shard_size` combination.
 ///
 /// # Errors
 ///
-/// Returns the first [`SweepError`] any worker encountered.
+/// Returns the [`SweepError`] of the lowest-indexed failing cell (bad
+/// key, invalid instance, or a run that hit the tick cutoff) — *which*
+/// error surfaces does not depend on thread scheduling.
 pub fn run_cells(cells: &[Cell], cfg: &SweepConfig) -> Result<Vec<CellMeasurement>, SweepError> {
+    run_cells_with_stats(cells, cfg).map(|(measurements, _)| measurements)
+}
+
+/// [`run_cells`] plus the engine's shard/worker accounting — the probe
+/// the determinism tests and harness benches use to assert that a single
+/// huge cell really engages more than one worker.
+///
+/// # Errors
+///
+/// Same contract as [`run_cells`].
+pub fn run_cells_with_stats(
+    cells: &[Cell],
+    cfg: &SweepConfig,
+) -> Result<(Vec<CellMeasurement>, SweepStats), SweepError> {
     // Validate everything up front so workers only see well-formed cells.
+    // `padet-affine` is the only key whose build can fail after key
+    // validation (composite task count); probe it eagerly here so the
+    // failure is a deterministic pre-spawn error rather than a worker
+    // race. Other keys are infallible post-validation, and an
+    // unconditional eager build would double the cost of searched
+    // schedule lists.
     for cell in cells {
         crate::grid::validate_algo_key(&cell.algo)?;
         crate::grid::validate_adversary_key(&cell.adversary)?;
-        Instance::new(cell.p, cell.t).map_err(|e| SweepError::Instance(e.to_string()))?;
+        let instance =
+            Instance::new(cell.p, cell.t).map_err(|e| SweepError::Instance(e.to_string()))?;
+        if cell.algo == "padet-affine" {
+            build_algorithm(&cell.algo, instance, cell.run_seed(0))?;
+        }
     }
+
+    let shards = plan_shards(cells, cfg);
+    let slots_per_cell: Vec<usize> = {
+        let mut counts = vec![0usize; cells.len()];
+        for shard in &shards {
+            counts[shard.cell] = counts[shard.cell].max(shard.slot + 1);
+        }
+        counts
+    };
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<CellMeasurement>>> = Mutex::new(vec![None; cells.len()]);
-    let first_error: Mutex<Option<SweepError>> = Mutex::new(None);
-    let workers = cfg.threads.max(1).min(cells.len().max(1));
+    let engaged = AtomicUsize::new(0);
+    type SlotGrid = Vec<Vec<Option<ShardOutput>>>;
+    let slots: Mutex<SlotGrid> = Mutex::new(
+        slots_per_cell
+            .iter()
+            .map(|&n| (0..n).map(|_| None).collect())
+            .collect(),
+    );
+    // Errors keyed by (cell, slot): after the join, the lowest key wins,
+    // so the surfaced error is the first failure in replicate order — not
+    // whichever worker's failure happened to land first. The cursor
+    // claims shards in order, so every shard below a claimed failing one
+    // was itself claimed and runs to completion before its worker exits;
+    // the minimum over collected errors is therefore scheduling-free.
+    let errors: Mutex<BTreeMap<(usize, usize), SweepError>> = Mutex::new(BTreeMap::new());
+    let workers = cfg.threads.max(1).min(shards.len().max(1));
     crossbeam::thread::scope(|s| {
         for _ in 0..workers {
-            s.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= cells.len() {
-                    break;
-                }
-                match run_cell(&cells[i], cfg) {
-                    Ok(m) => slots.lock().expect("poisoned")[i] = Some(m),
-                    Err(e) => {
-                        let mut guard = first_error.lock().expect("poisoned");
-                        if guard.is_none() {
-                            *guard = Some(e);
-                        }
-                        // Drain remaining work so every worker exits fast.
-                        next.fetch_add(cells.len(), Ordering::Relaxed);
+            s.spawn(|| {
+                // One reusable trace buffer per worker (trace mode only):
+                // cleared between replicates, never reallocated.
+                let mut trace_buf: Option<Trace> = None;
+                let mut claimed_any = false;
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= shards.len() {
                         break;
+                    }
+                    if !claimed_any {
+                        claimed_any = true;
+                        engaged.fetch_add(1, Ordering::Relaxed);
+                    }
+                    let shard = shards[i];
+                    match run_shard(&cells[shard.cell], &shard, cfg, &mut trace_buf) {
+                        Ok(output) => {
+                            slots.lock().expect("poisoned")[shard.cell][shard.slot] = Some(output);
+                        }
+                        Err(e) => {
+                            errors
+                                .lock()
+                                .expect("poisoned")
+                                .insert((shard.cell, shard.slot), e);
+                            // Drain remaining work so every worker exits
+                            // fast; in-flight shards still finish and
+                            // record their own errors.
+                            next.fetch_add(shards.len(), Ordering::Relaxed);
+                            break;
+                        }
                     }
                 }
             });
         }
     })
     .expect("sweep workers do not panic");
-    if let Some(e) = first_error.into_inner().expect("poisoned") {
+    let stats = SweepStats {
+        shards: shards.len(),
+        workers,
+        workers_engaged: engaged.load(Ordering::Relaxed),
+    };
+    if let Some((_, e)) = errors.into_inner().expect("poisoned").into_iter().next() {
         return Err(e);
     }
-    Ok(slots
-        .into_inner()
-        .expect("poisoned")
-        .into_iter()
-        .map(|slot| slot.expect("all cells ran"))
-        .collect())
+    let mut slot_grid = slots.into_inner().expect("poisoned").into_iter();
+    let measurements = cells
+        .iter()
+        .map(|cell| {
+            let cell_slots = slot_grid.next().expect("one slot row per cell");
+            merge_cell(cell, cfg, cell_slots)
+        })
+        .collect();
+    Ok((measurements, stats))
 }
 
-/// Runs one cell's full replicate batch sequentially.
-///
-/// # Errors
-///
-/// Returns a [`SweepError`] for bad keys, invalid shapes, or runs that
-/// hit the tick cutoff (experiments must not silently aggregate over
-/// broken executions).
-pub fn run_cell(cell: &Cell, cfg: &SweepConfig) -> Result<CellMeasurement, SweepError> {
-    if cell.algo == ALGO_NONE {
-        return Ok(CellMeasurement {
-            cell: cell.clone(),
-            summary: None,
-            mean_primary: None,
-            mean_secondary: None,
-            crash_count: None,
-            mean_crashes_fired: None,
-        });
-    }
+/// Runs one shard — replicates `start .. start + len` of `cell`,
+/// sequentially, reusing `trace_buf` across replicates in trace mode.
+fn run_shard(
+    cell: &Cell,
+    shard: &Shard,
+    cfg: &SweepConfig,
+    trace_buf: &mut Option<Trace>,
+) -> Result<ShardOutput, SweepError> {
     let instance =
         Instance::new(cell.p, cell.t).map_err(|e| SweepError::Instance(e.to_string()))?;
-    // `padet-affine` is the only key whose build can fail after key
-    // validation (composite task count); surface that as an error rather
-    // than a worker panic. Other keys are infallible post-validation, and
-    // an unconditional eager build would double the cost of searched
-    // schedule lists.
-    if cell.algo == "padet-affine" {
-        build_algorithm(&cell.algo, instance, cell.run_seed(0))?;
-    }
-
-    let mut reports = Vec::with_capacity(cell.seeds as usize);
-    let mut primary_total = 0usize;
-    let mut secondary_total = 0usize;
-    if cfg.trace {
-        for k in 0..cell.seeds {
+    let mut reports = Vec::with_capacity(shard.len as usize);
+    let mut profile = cfg.trace.then(ProfilePartial::default);
+    if let Some(partial) = profile.as_mut() {
+        for k in shard.start..shard.start + shard.len {
             let seed = cell.run_seed(k);
             let algo = build_algorithm(&cell.algo, instance, seed).expect("validated above");
             let adversary =
                 build_adversary(&cell.adversary, cell.p, cell.t, cell.d, seed, cfg.max_ticks)?;
-            let (report, trace) = Simulation::new(instance, algo.spawn(instance), adversary)
-                .max_ticks(cfg.max_ticks)
-                .with_trace(TRACE_CAPACITY)
-                .run_traced();
-            let profile = execution_profile(&trace.expect("tracing enabled"), cell.t);
-            primary_total += profile.primary_executions;
-            secondary_total += profile.secondary_executions;
+            let sim =
+                Simulation::new(instance, algo.spawn(instance), adversary).max_ticks(cfg.max_ticks);
+            // Reuse the worker's buffer only when its capacity covers
+            // this cell — a buffer first sized for a smaller shape would
+            // truncate here, and `execution_profile` (rightly) rejects
+            // truncated traces. An undersized buffer is dropped and a
+            // correctly sized one allocated in its place.
+            let needed = trace_capacity(cell.p, cfg.max_ticks);
+            let sim = match trace_buf.take().filter(|buf| buf.capacity() >= needed) {
+                Some(buf) => sim.with_trace_buffer(buf),
+                None => sim.with_trace(needed),
+            };
+            let (report, trace) = sim.run_traced();
+            let trace = trace.expect("tracing enabled");
+            partial.record(&execution_profile(&trace, cell.t));
+            *trace_buf = Some(trace);
             reports.push(report);
         }
     } else {
         reports = Simulation::run_batch(
             instance,
-            cell.seeds,
+            shard.len,
             cfg.max_ticks,
             |k| {
-                build_algorithm(&cell.algo, instance, cell.run_seed(k))
+                build_algorithm(&cell.algo, instance, cell.run_seed(shard.start + k))
                     .expect("validated above")
                     .spawn(instance)
             },
@@ -261,32 +438,61 @@ pub fn run_cell(cell: &Cell, cfg: &SweepConfig) -> Result<CellMeasurement, Sweep
                     cell.p,
                     cell.t,
                     cell.d,
-                    cell.run_seed(k),
+                    cell.run_seed(shard.start + k),
                     cfg.max_ticks,
                 )
                 .expect("validated before spawning workers")
             },
         );
     }
-    if let Some(k) = reports.iter().position(|r| !r.completed) {
+    if let Some(pos) = reports.iter().position(|r| !r.completed) {
+        let replicate = shard.start + pos as u64;
         return Err(SweepError::Incomplete {
             cell: format!(
                 "{} vs {} p={} t={} d={}",
                 cell.algo, cell.adversary, cell.p, cell.t, cell.d
             ),
-            seed: k as u64,
+            replicate,
+            seed: cell.run_seed(replicate),
         });
     }
-    let runs = cell.seeds as f64;
+    Ok(ShardOutput { reports, profile })
+}
+
+/// Merges a cell's shard outputs back, in replicate order, into the
+/// measurement a sequential run would have produced.
+fn merge_cell(cell: &Cell, cfg: &SweepConfig, shards: Vec<Option<ShardOutput>>) -> CellMeasurement {
+    if cell.algo == ALGO_NONE {
+        return CellMeasurement {
+            cell: cell.clone(),
+            summary: None,
+            mean_primary: None,
+            mean_secondary: None,
+            crash_count: None,
+            mean_crashes_fired: None,
+        };
+    }
+    let mut reports = Vec::with_capacity(cell.seeds as usize);
+    let mut profile = cfg.trace.then(ProfilePartial::default);
+    // Slots are indexed by shard position within the cell, so pushing in
+    // slot order concatenates the chunks back into replicate order.
+    for output in shards {
+        let output = output.expect("error-free sweeps fill every slot");
+        reports.extend(output.reports);
+        if let (Some(whole), Some(part)) = (profile.as_mut(), output.profile.as_ref()) {
+            whole.merge(part);
+        }
+    }
+    assert_eq!(reports.len(), cell.seeds as usize, "all replicates merged");
     let (crash_count, mean_crashes_fired) = crash_stats(cell, cfg, &reports);
-    Ok(CellMeasurement {
+    CellMeasurement {
         cell: cell.clone(),
         summary: Some(summarize(&reports)),
-        mean_primary: cfg.trace.then(|| primary_total as f64 / runs),
-        mean_secondary: cfg.trace.then(|| secondary_total as f64 / runs),
+        mean_primary: profile.as_ref().map(ProfilePartial::mean_primary),
+        mean_secondary: profile.as_ref().map(ProfilePartial::mean_secondary),
         crash_count,
         mean_crashes_fired,
-    })
+    }
 }
 
 /// For `crash:<pct>` cells: the scheduled crash count and the mean
@@ -368,11 +574,110 @@ mod tests {
     }
 
     #[test]
+    fn shard_size_never_influences_results() {
+        let cells = small_grid().cells();
+        let baseline = run_cells(
+            &cells,
+            &SweepConfig {
+                threads: 1,
+                shard_size: Some(u64::MAX), // clamped to whole-cell shards
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        for threads in [1, 4] {
+            for shard_size in [None, Some(1), Some(2), Some(3)] {
+                let out = run_cells(
+                    &cells,
+                    &SweepConfig {
+                        threads,
+                        shard_size,
+                        ..SweepConfig::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(
+                    out, baseline,
+                    "threads={threads} shard_size={shard_size:?} must match"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn effective_shard_size_auto_and_clamps() {
+        let cfg = |threads: usize, shard_size: Option<u64>| SweepConfig {
+            threads,
+            shard_size,
+            ..SweepConfig::default()
+        };
+        // Auto, fewer cells than workers: spread one cell's seeds evenly.
+        assert_eq!(effective_shard_size(1, 32, &cfg(8, None)), 4);
+        assert_eq!(effective_shard_size(1, 30, &cfg(8, None)), 4, "ceil");
+        assert_eq!(effective_shard_size(1, 4, &cfg(8, None)), 1);
+        // Auto, cells already saturate the pool: whole-cell shards.
+        assert_eq!(effective_shard_size(8, 32, &cfg(8, None)), 32);
+        assert_eq!(effective_shard_size(100, 5, &cfg(8, None)), 5);
+        // Explicit values clamp to [1, seeds].
+        assert_eq!(effective_shard_size(1, 8, &cfg(4, Some(3))), 3);
+        assert_eq!(effective_shard_size(1, 8, &cfg(4, Some(0))), 1);
+        assert_eq!(effective_shard_size(1, 8, &cfg(4, Some(1_000))), 8);
+    }
+
+    #[test]
+    fn one_cell_grid_spreads_across_workers() {
+        // The acceptance probe: a single cell with seeds ≥ 8 must engage
+        // more than one worker. The shape is heavy enough (debug-mode
+        // simulation ≫ thread-spawn latency) that late workers always
+        // find unclaimed shards.
+        let cells = Grid::parse("algos=paran1 advs=stage shapes=16x256 ds=4 seeds=8 seed=1")
+            .unwrap()
+            .cells();
+        let cfg = SweepConfig {
+            threads: 4,
+            shard_size: Some(1),
+            ..SweepConfig::default()
+        };
+        let (out, stats) = run_cells_with_stats(&cells, &cfg).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.shards, 8, "seeds=8 at shard size 1");
+        assert_eq!(stats.workers, 4, "one cell no longer caps the pool at 1");
+        // Engagement (unlike the results) depends on OS scheduling: under
+        // a loaded test runner the late workers can miss the window. Give
+        // the measurement a few tries; one multi-worker observation is
+        // the proof.
+        let mut best = stats.workers_engaged;
+        for _ in 0..20 {
+            if best > 1 {
+                break;
+            }
+            let (_, retry) = run_cells_with_stats(&cells, &cfg).unwrap();
+            best = best.max(retry.workers_engaged);
+        }
+        assert!(
+            best > 1,
+            "a single huge cell must engage more than one worker: {stats:?}"
+        );
+        // Auto sharding on the same grid also splits the cell.
+        let (_, auto_stats) = run_cells_with_stats(
+            &cells,
+            &SweepConfig {
+                threads: 4,
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(auto_stats.shards, 4, "auto = ceil(8/4) = 2 seeds per shard");
+        assert!(auto_stats.workers > 1);
+    }
+
+    #[test]
     fn none_cells_skip_simulation() {
         let cells = Grid::parse("algos=none shapes=4x8").unwrap().cells();
-        let out = run_cells(&cells, &SweepConfig::default()).unwrap();
+        let (out, stats) = run_cells_with_stats(&cells, &SweepConfig::default()).unwrap();
         assert_eq!(out.len(), 1);
         assert!(out[0].summary.is_none());
+        assert_eq!(stats.shards, 0, "derive-only cells schedule no work");
     }
 
     #[test]
@@ -396,6 +701,87 @@ mod tests {
     }
 
     #[test]
+    fn trace_mode_is_shard_invariant() {
+        let cells = Grid::parse("algos=paran1,oblido advs=stage shapes=4x8 ds=2 seeds=4 seed=5")
+            .unwrap()
+            .cells();
+        let cfg = |threads: usize, shard_size: Option<u64>| SweepConfig {
+            threads,
+            shard_size,
+            trace: true,
+            ..SweepConfig::default()
+        };
+        let baseline = run_cells(&cells, &cfg(1, Some(4))).unwrap();
+        assert!(baseline[0].mean_primary.is_some());
+        for threads in [1, 4] {
+            for shard_size in [None, Some(1), Some(3)] {
+                let out = run_cells(&cells, &cfg(threads, shard_size)).unwrap();
+                assert_eq!(
+                    out, baseline,
+                    "traced threads={threads} shard_size={shard_size:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trace_buffer_reuse_survives_growing_cell_shapes() {
+        // Regression: a worker's recycled trace buffer keeps the capacity
+        // it was first allocated with. With threads=1 the same worker
+        // runs a tiny cell (small capacity) and then a much bigger one —
+        // reusing the undersized buffer would truncate the big cell's
+        // trace and panic the profile analysis.
+        let cells = Grid::parse("algos=paran1 advs=fixed shapes=2x4,32x256 ds=2 seeds=1 seed=1")
+            .unwrap()
+            .cells();
+        let cfg = SweepConfig {
+            trace: true,
+            threads: 1,
+            max_ticks: 10_000, // small enough that capacities differ per shape
+            ..SweepConfig::default()
+        };
+        let out = run_cells(&cells, &cfg).unwrap();
+        assert!(out.iter().all(|m| m.mean_primary.is_some()));
+        // Every task needs at least one primary execution (concurrent
+        // firsts can push the count above t); completing at all is the
+        // regression check — an undersized reused buffer panicked here.
+        let primary = out[1].mean_primary.expect("trace mode");
+        assert!(primary >= 256.0, "t=256 tasks all executed: {primary}");
+    }
+
+    #[test]
+    fn auto_sharding_ignores_derive_only_cells() {
+        // Regression: `none` cells schedule no shards, so they must not
+        // count toward the auto rule's cell total — a grid of mostly
+        // derive-only rows plus one big simulated cell used to keep
+        // whole-cell shards and pin one thread.
+        let mut cells = Grid::parse("algos=none advs=unit shapes=2x2,3x3,4x4,5x5,6x6,7x7,8x8")
+            .unwrap()
+            .cells();
+        cells.extend(
+            Grid::parse("algos=paran1 advs=stage shapes=8x16 ds=1 seeds=8 seed=2")
+                .unwrap()
+                .cells(),
+        );
+        assert_eq!(cells.len(), 8, "7 derive-only + 1 simulated");
+        let (out, stats) = run_cells_with_stats(
+            &cells,
+            &SweepConfig {
+                threads: 8,
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.len(), 8);
+        assert_eq!(
+            stats.shards, 8,
+            "auto = ceil(8 seeds / 8 threads) = 1 per shard; counting the \
+             none cells would have produced a single whole-cell shard"
+        );
+        assert_eq!(stats.workers, 8);
+    }
+
+    #[test]
     fn tick_cutoff_is_an_error_not_a_silent_average() {
         // d=8 delays with a 4-tick budget: paran1 cannot finish.
         let cells = Grid::parse("algos=paran1 advs=fixed shapes=2x16 ds=8")
@@ -411,6 +797,83 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, SweepError::Incomplete { .. }), "{err}");
         assert!(err.to_string().contains("max-ticks"));
+    }
+
+    #[test]
+    fn incomplete_reports_the_derived_seed_not_the_position() {
+        let cells = Grid::parse("algos=paran1 advs=fixed shapes=2x16 ds=8 seeds=3 seed=7")
+            .unwrap()
+            .cells();
+        let cell = cells[0].clone();
+        let err = run_cells(
+            &cells,
+            &SweepConfig {
+                max_ticks: 4,
+                threads: 1,
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap_err();
+        match err {
+            SweepError::Incomplete {
+                replicate, seed, ..
+            } => {
+                assert_eq!(replicate, 0, "first replicate fails first");
+                assert_eq!(
+                    seed,
+                    cell.run_seed(replicate),
+                    "seed must be the derived run seed, not the replicate index"
+                );
+                assert_ne!(seed, replicate, "the old bug conflated the two");
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_selection_is_deterministic_across_threads_and_shards() {
+        // Two bad cells (tick cutoff) surrounded by good ones: every
+        // thread/shard combination must surface the *lowest-indexed* bad
+        // cell, not whichever worker errored first.
+        let mut cells = Grid::parse("algos=soloall advs=unit shapes=2x4 seeds=2")
+            .unwrap()
+            .cells();
+        let bad = Grid::parse("algos=paran1 advs=fixed shapes=2x16,2x32 ds=8 seeds=2")
+            .unwrap()
+            .cells();
+        cells.extend(bad); // cells[1] and cells[2] both hit the cutoff
+        let baseline = run_cells(
+            &cells,
+            &SweepConfig {
+                max_ticks: 4,
+                threads: 1,
+                shard_size: Some(u64::MAX),
+                ..SweepConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            baseline.to_string().contains("t=16"),
+            "lowest-index bad cell wins: {baseline}"
+        );
+        for threads in [1, 2, 8] {
+            for shard_size in [None, Some(1)] {
+                let err = run_cells(
+                    &cells,
+                    &SweepConfig {
+                        max_ticks: 4,
+                        threads,
+                        shard_size,
+                        ..SweepConfig::default()
+                    },
+                )
+                .unwrap_err();
+                assert_eq!(
+                    err, baseline,
+                    "threads={threads} shard_size={shard_size:?} must report the same error"
+                );
+            }
+        }
     }
 
     #[test]
@@ -447,5 +910,16 @@ mod tests {
             run_cells(&cells, &SweepConfig::default()),
             Err(SweepError::Bad(_))
         ));
+    }
+
+    #[test]
+    fn trace_capacity_scales_with_shape_and_clamps() {
+        assert_eq!(trace_capacity(2, 4), 17, "2p·ticks + 1");
+        assert_eq!(trace_capacity(1, 1), 3);
+        assert_eq!(
+            trace_capacity(4_096, DEFAULT_MAX_TICKS),
+            TRACE_CAPACITY,
+            "huge shapes clamp to the ceiling"
+        );
     }
 }

@@ -1,0 +1,156 @@
+//! Property tests for the grid spec language: `Grid::parse` and
+//! `Display` round-trip over random axis contents, and duplicate axis
+//! values are always rejected — the invariants the sweep engine and the
+//! baseline comparator lean on (cells are keyed by their parameters, so
+//! a spec that re-parses differently or expands to duplicate cells would
+//! silently corrupt results).
+
+use doall_bench::grid::Grid;
+use proptest::prelude::*;
+
+/// Every algorithm key the grid language accepts, including the
+/// parameterized families at a few parameter points.
+const ALGO_POOL: &[&str] = &[
+    "soloall",
+    "oblido",
+    "oblido-searched",
+    "oblido-worst",
+    "da:2",
+    "da:5",
+    "da:8",
+    "paran1",
+    "paran2",
+    "padet",
+    "padet-rot",
+    "padet-affine",
+    "gossip:1",
+    "gossip:7",
+    "none",
+];
+
+/// Every adversary key, with crash percentages at the boundaries.
+const ADV_POOL: &[&str] = &[
+    "unit",
+    "fixed",
+    "random",
+    "stage",
+    "bursty",
+    "lb",
+    "lbrand",
+    "crash:0",
+    "crash:37",
+    "crash:100",
+];
+
+/// Selects the pool entries named by a non-zero bitmask — a cheap way to
+/// draw a random non-empty *unique* subset, in pool order.
+fn subset(pool: &[&str], mask: u32) -> Vec<String> {
+    pool.iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, key)| (*key).to_string())
+        .collect()
+}
+
+/// First-occurrence dedup that keeps the original order (axis order is
+/// part of the spec and must survive the round-trip as-is).
+fn dedup_keep_order<T: Clone + Ord>(values: &[T]) -> Vec<T> {
+    let mut seen = std::collections::BTreeSet::new();
+    values
+        .iter()
+        .filter(|v| seen.insert((*v).clone()))
+        .cloned()
+        .collect()
+}
+
+fn arbitrary_grid(
+    algo_mask: u32,
+    adv_mask: u32,
+    raw_shapes: &[(usize, usize)],
+    raw_ds: &[u64],
+    seeds: u64,
+    base_seed: u64,
+) -> Grid {
+    Grid {
+        algos: subset(ALGO_POOL, algo_mask),
+        adversaries: subset(ADV_POOL, adv_mask),
+        shapes: dedup_keep_order(raw_shapes),
+        ds: dedup_keep_order(raw_ds),
+        seeds,
+        base_seed,
+    }
+}
+
+proptest! {
+    /// The headline ROADMAP property: `Grid::parse(g.to_string()) == g`
+    /// for grids assembled from random axis contents.
+    #[test]
+    fn parse_display_round_trips(
+        algo_mask in 1u32..(1 << ALGO_POOL.len()),
+        adv_mask in 1u32..(1 << ADV_POOL.len()),
+        raw_shapes in prop::collection::vec((1usize..=64, 1usize..=512), 1..6),
+        raw_ds in prop::collection::vec(1u64..=256, 1..6),
+        seeds in 1u64..=50,
+        base_seed in any::<u64>(),
+    ) {
+        let grid = arbitrary_grid(algo_mask, adv_mask, &raw_shapes, &raw_ds, seeds, base_seed);
+        prop_assert!(grid.validate().is_ok(), "constructed grids are valid: {grid}");
+        let spec = grid.to_string();
+        let reparsed = Grid::parse(&spec);
+        prop_assert!(reparsed.is_ok(), "canonical spec `{spec}` must parse");
+        let reparsed = reparsed.unwrap();
+        prop_assert_eq!(&reparsed, &grid, "round-trip changed the grid for `{}`", spec);
+        // Fixed point: rendering the reparsed grid reproduces the spec.
+        prop_assert_eq!(reparsed.to_string(), spec);
+        // And equal grids expand to equal cells (same seeds, same order).
+        prop_assert_eq!(reparsed.cells(), grid.cells());
+    }
+
+    /// Duplicating any single value in any axis must be rejected — by
+    /// `validate()` on the struct and by `parse()` on the rendered spec.
+    #[test]
+    fn duplicate_axis_values_are_rejected(
+        algo_mask in 1u32..(1 << ALGO_POOL.len()),
+        adv_mask in 1u32..(1 << ADV_POOL.len()),
+        raw_shapes in prop::collection::vec((1usize..=64, 1usize..=512), 1..5),
+        raw_ds in prop::collection::vec(1u64..=256, 1..5),
+        axis in 0usize..4,
+        pick in any::<u64>(),
+        seeds in 1u64..=50,
+    ) {
+        let good = arbitrary_grid(algo_mask, adv_mask, &raw_shapes, &raw_ds, seeds, 0);
+        let mut bad = good.clone();
+        // Duplicate one existing element of the chosen axis.
+        match axis {
+            0 => {
+                let v = bad.algos[pick as usize % bad.algos.len()].clone();
+                bad.algos.push(v);
+            }
+            1 => {
+                let v = bad.adversaries[pick as usize % bad.adversaries.len()].clone();
+                bad.adversaries.push(v);
+            }
+            2 => {
+                let v = bad.shapes[pick as usize % bad.shapes.len()];
+                bad.shapes.push(v);
+            }
+            _ => {
+                let v = bad.ds[pick as usize % bad.ds.len()];
+                bad.ds.push(v);
+            }
+        }
+        let err = bad.validate();
+        prop_assert!(err.is_err(), "duplicate in axis {axis} accepted: {bad}");
+        prop_assert!(
+            err.unwrap_err().to_string().contains("duplicate"),
+            "error should name the duplicate"
+        );
+        prop_assert!(
+            Grid::parse(&bad.to_string()).is_err(),
+            "rendered duplicate spec `{}` must not parse",
+            bad
+        );
+        // The untouched grid still parses — the rejection is specific.
+        prop_assert!(Grid::parse(&good.to_string()).is_ok());
+    }
+}

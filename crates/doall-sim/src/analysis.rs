@@ -83,6 +83,68 @@ pub fn summarize(reports: &[RunReport]) -> BatchSummary {
     }
 }
 
+/// A mergeable partial aggregate of execution profiles — the building
+/// block that lets the sweep harness shard a cell's replicates across
+/// workers and still produce the exact totals a sequential pass would.
+///
+/// Each worker folds the [`ExecutionProfile`]s of its replicate chunk
+/// into one of these via [`ProfilePartial::record`]; the chunks are then
+/// combined with [`ProfilePartial::merge`]. All fields are integer sums,
+/// so the merged result is independent of chunk boundaries and merge
+/// order — no floating-point reassociation can creep in before the final
+/// division in [`ProfilePartial::mean_primary`] /
+/// [`ProfilePartial::mean_secondary`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProfilePartial {
+    /// Number of profiles folded in.
+    pub runs: usize,
+    /// Sum of primary executions over the folded profiles.
+    pub primary_executions: usize,
+    /// Sum of secondary (redundant) executions over the folded profiles.
+    pub secondary_executions: usize,
+}
+
+impl ProfilePartial {
+    /// Folds one run's profile into the partial.
+    pub fn record(&mut self, profile: &ExecutionProfile) {
+        self.runs += 1;
+        self.primary_executions += profile.primary_executions;
+        self.secondary_executions += profile.secondary_executions;
+    }
+
+    /// Combines another partial into this one (associative and
+    /// commutative: any merge tree over the same runs yields the same
+    /// sums).
+    pub fn merge(&mut self, other: &ProfilePartial) {
+        self.runs += other.runs;
+        self.primary_executions += other.primary_executions;
+        self.secondary_executions += other.secondary_executions;
+    }
+
+    /// Mean primary executions per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no profiles were recorded (a mean over zero runs is a
+    /// caller bug, mirroring [`summarize`]).
+    #[must_use]
+    pub fn mean_primary(&self) -> f64 {
+        assert!(self.runs > 0, "no profiles recorded");
+        self.primary_executions as f64 / self.runs as f64
+    }
+
+    /// Mean secondary executions per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no profiles were recorded.
+    #[must_use]
+    pub fn mean_secondary(&self) -> f64 {
+        assert!(self.runs > 0, "no profiles recorded");
+        self.secondary_executions as f64 / self.runs as f64
+    }
+}
+
 /// Aggregate statistics extracted from an execution trace.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecutionProfile {
@@ -276,6 +338,45 @@ mod tests {
     #[should_panic(expected = "empty batch")]
     fn summarize_rejects_empty() {
         let _ = summarize(&[]);
+    }
+
+    #[test]
+    fn profile_partial_merge_is_chunk_invariant() {
+        let profiles: Vec<ExecutionProfile> = (0..6)
+            .map(|i| ExecutionProfile {
+                primary_executions: 3 * i + 1,
+                secondary_executions: i,
+                multiplicity: vec![],
+                steps: 0,
+                broadcasts: 0,
+            })
+            .collect();
+        // One sequential fold...
+        let mut whole = ProfilePartial::default();
+        for p in &profiles {
+            whole.record(p);
+        }
+        // ...vs chunked folds merged in order, for every chunk size.
+        for chunk in 1..=profiles.len() {
+            let mut merged = ProfilePartial::default();
+            for slice in profiles.chunks(chunk) {
+                let mut part = ProfilePartial::default();
+                for p in slice {
+                    part.record(p);
+                }
+                merged.merge(&part);
+            }
+            assert_eq!(merged, whole, "chunk size {chunk}");
+        }
+        assert_eq!(whole.runs, 6);
+        assert!((whole.mean_primary() - (1 + 4 + 7 + 10 + 13 + 16) as f64 / 6.0).abs() < 1e-12);
+        assert!((whole.mean_secondary() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "no profiles recorded")]
+    fn profile_partial_rejects_empty_mean() {
+        let _ = ProfilePartial::default().mean_primary();
     }
 
     #[test]

@@ -149,6 +149,19 @@ impl Simulation {
         self
     }
 
+    /// Enables event tracing into an existing collector, reusing its
+    /// allocation (and keeping its capacity). The collector is cleared
+    /// first, so callers can hand the trace returned by a previous
+    /// [`run_traced`](Self::run_traced) straight back in — batch sweeps
+    /// recycle one buffer per worker instead of growing a fresh one per
+    /// replicate.
+    #[must_use]
+    pub fn with_trace_buffer(mut self, mut trace: Trace) -> Self {
+        trace.clear();
+        self.trace = Some(trace);
+        self
+    }
+
     /// Runs the execution to σ (or the tick cutoff) and returns the
     /// report. Use [`run_traced`](Self::run_traced) to also retrieve the
     /// trace.

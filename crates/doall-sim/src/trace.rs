@@ -67,6 +67,24 @@ impl Trace {
         }
     }
 
+    /// Empties the collector for reuse, keeping the event allocation and
+    /// the capacity. Long trace-mode sweeps hand one collector from run
+    /// to run (see `Simulation::with_trace_buffer`) instead of growing a
+    /// fresh multi-million-entry buffer per replicate.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
+    /// The capacity this collector was created with — callers recycling
+    /// buffers across runs of different sizes check this before reuse
+    /// (an undersized buffer would truncate, which the profile analysis
+    /// rejects).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// The retained events, in order.
     #[must_use]
     pub fn events(&self) -> &[TraceEvent] {

@@ -83,6 +83,10 @@ pub struct SweepSpec {
     pub grid: Grid,
     /// Worker threads (default: available parallelism).
     pub threads: Option<usize>,
+    /// Replicates per scheduled shard (default: auto — a grid with fewer
+    /// cells than workers splits each cell's replicates across the pool).
+    /// Wall-clock only; results are byte-identical for every value.
+    pub shard_size: Option<u64>,
     /// Per-run tick cutoff (default: the simulator's).
     pub max_ticks: Option<u64>,
     /// Output format.
@@ -152,8 +156,8 @@ doall — message-delay-sensitive Do-All (Kowalski & Shvartsman, PODC'03)
 USAGE:
   doall simulate   --algo A -p P -t T -d D [--adversary ADV] [--seed S]
   doall sweep      --grid 'algos=A,... advs=ADV,... shapes=PxT,... ds=D,... seeds=K seed=S'
-                   [--threads N] [--max-ticks N] [--json|--csv] [--out PATH]
-                   [--compare BASELINE.json] [--tolerance X]
+                   [--threads N] [--shard-size N] [--max-ticks N] [--json|--csv]
+                   [--out PATH] [--compare BASELINE.json] [--tolerance X]
   doall sweep      --algo A -p P -t T [-d D] [--adversary ADV] [--seed S]
                    (single-algorithm shorthand; no -d sweeps d = 1,2,4,… up to t)
   doall compare    OLD.json NEW.json [--tolerance X] [--json] [--out PATH]
@@ -168,10 +172,12 @@ ALGORITHMS (A):
 ADVERSARIES (ADV, default 'stage'):
   unit | fixed | random | stage | bursty | lb | lbrand | crash:<pct>
 
-Sweeps run on the doall-bench harness: cells execute in parallel across a
-thread pool with per-cell deterministic seeding, so --threads changes
-wall-clock only, never a number. --json / --csv emit the machine-readable
-schema CI archives (see BENCH_sweep.json).
+Sweeps run on the doall-bench harness: work is scheduled as (cell,
+replicate-chunk) shards across a thread pool with per-replicate
+deterministic seeding, so --threads and --shard-size change wall-clock
+only, never a number — a single huge cell spreads across every worker.
+--json / --csv emit the machine-readable schema CI archives (see
+BENCH_sweep.json).
 
 `compare` (and `sweep --compare`) matches cells of two result sets by
 (experiment, algo, adversary, p, t, d, seeds) and classifies each as
@@ -239,6 +245,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             let mut adversary = "stage".to_string();
             let mut seed = 0u64;
             let mut threads = None;
+            let mut shard_size = None;
             let mut max_ticks = None;
             let mut format = Format::Table;
             let mut out = None;
@@ -263,6 +270,13 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             return Err(err("--threads must be at least 1"));
                         }
                         threads = Some(n);
+                    }
+                    "--shard-size" => {
+                        let n = parse_num(value()?, "--shard-size")? as u64;
+                        if n == 0 {
+                            return Err(err("--shard-size must be at least 1"));
+                        }
+                        shard_size = Some(n);
                     }
                     "--max-ticks" => {
                         let n = parse_num(value()?, "--max-ticks")? as u64;
@@ -340,6 +354,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
             Ok(Command::Sweep(SweepSpec {
                 grid,
                 threads,
+                shard_size,
                 max_ticks,
                 format,
                 out,
@@ -538,6 +553,7 @@ pub fn execute(command: &Command) -> Result<Outcome, CliError> {
             let cells = spec.grid.cells();
             let mut cfg = SweepConfig {
                 max_ticks: spec.max_ticks.unwrap_or(CLI_MAX_TICKS),
+                shard_size: spec.shard_size,
                 ..SweepConfig::default()
             };
             if let Some(threads) = spec.threads {
@@ -931,6 +947,22 @@ mod tests {
         assert!(parse(&args("compare a b c")).is_err(), "too many files");
         assert!(parse(&args("compare a b --tolerance -1")).is_err());
         assert!(parse(&args("compare a b --frob")).is_err());
+    }
+
+    #[test]
+    fn sweep_parses_shard_size() {
+        let cmd = parse(&args("sweep --algo soloall -p 2 -t 4 --shard-size 3")).unwrap();
+        match cmd {
+            Command::Sweep(spec) => assert_eq!(spec.shard_size, Some(3)),
+            other => panic!("wrong command: {other:?}"),
+        }
+        match parse(&args("sweep --algo soloall -p 2 -t 4")).unwrap() {
+            Command::Sweep(spec) => assert_eq!(spec.shard_size, None, "default is auto"),
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("sweep --algo soloall -p 2 -t 4 --shard-size 0")).is_err());
+        assert!(parse(&args("sweep --algo soloall -p 2 -t 4 --shard-size few")).is_err());
+        assert!(parse(&args("sweep --algo soloall -p 2 -t 4 --shard-size")).is_err());
     }
 
     #[test]
