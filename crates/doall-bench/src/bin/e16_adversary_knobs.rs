@@ -1,0 +1,9 @@
+//! E16 — adversary *structure* sweeps: the adversaries' own knobs
+//! (bursty duty cycles, crash stagger patterns, straggler slowdowns) as
+//! first-class grid axes.
+//!
+//! Declarative spec lives in `doall_bench::experiments` (id `e16`).
+
+fn main() {
+    doall_bench::experiment_main("e16");
+}

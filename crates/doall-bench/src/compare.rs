@@ -309,6 +309,13 @@ pub fn parse_json(text: &str) -> Result<Json, CompareError> {
 
 /// The identity of a cell for baseline matching: everything that names
 /// the scenario, none of what measures it.
+///
+/// The `adversary` field holds the *canonical* spelling: result-set
+/// parsing re-renders any key the grid grammar understands through
+/// [`crate::grid::AdversarySpec`], so a pre-normalization baseline
+/// containing `crash:07` matches a fresh run's `crash:7` instead of
+/// reporting a spurious removed/added pair. Keys the grammar does not
+/// know (future schema extensions) are kept verbatim.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 pub struct CellKey {
     /// Experiment id (`"e01"` … `"e15"`, `"sweep"`, …).
@@ -415,10 +422,15 @@ pub fn parse_result_set(text: &str) -> Result<BaselineSet, CompareError> {
         if !matches!(record, Json::Object(_)) {
             return Err(err(format!("{what}: expected an object")));
         }
+        let raw_adversary = as_str(field(record, "adversary", &what)?, &what)?;
         let key = CellKey {
             experiment: as_str(field(record, "experiment", &what)?, &what)?.to_string(),
             algo: as_str(field(record, "algo", &what)?, &what)?.to_string(),
-            adversary: as_str(field(record, "adversary", &what)?, &what)?.to_string(),
+            // Canonicalize through the grid grammar so differently spelled
+            // but identical adversaries (`crash:07` vs `crash:7`) match;
+            // unknown keys pass through untouched.
+            adversary: crate::grid::AdversarySpec::parse(raw_adversary)
+                .map_or_else(|_| raw_adversary.to_string(), |spec| spec.to_string()),
             p: as_u64(field(record, "p", &what)?, &what)?,
             t: as_u64(field(record, "t", &what)?, &what)?,
             d: as_u64(field(record, "d", &what)?, &what)?,
@@ -440,7 +452,19 @@ pub fn parse_result_set(text: &str) -> Result<BaselineSet, CompareError> {
             metrics.insert(name.clone(), v);
         }
         if cells.insert(key.clone(), metrics).is_some() {
-            return Err(err(format!("duplicate cell `{key}`")));
+            // Two records can collapse onto one key through adversary
+            // canonicalization (e.g. a pre-normalization file holding both
+            // `crash:07` and `crash:7` cells); name that in the error so
+            // the "duplicate" is explicable when no literal dup exists.
+            let hint = if raw_adversary == key.adversary {
+                String::new()
+            } else {
+                format!(
+                    " (adversary `{raw_adversary}` canonicalizes to `{}`)",
+                    key.adversary
+                )
+            };
+            return Err(err(format!("duplicate cell `{key}`{hint}")));
         }
     }
     Ok(BaselineSet {
@@ -945,6 +969,28 @@ mod tests {
             let e = parse_result_set(doc).unwrap_err().to_string();
             assert!(e.contains(needle), "`{doc}` -> {e}");
         }
+    }
+
+    #[test]
+    fn adversary_spellings_are_canonicalized_for_matching() {
+        // A pre-normalization baseline may spell numeric knobs with
+        // leading zeros or an explicit default stagger; both must match a
+        // fresh run's canonical key instead of reporting removed + added.
+        let cell = |adversary: &str, work: f64| {
+            format!(
+                "{{\"experiment\": \"e12\", \"algo\": \"paran1\", \"adversary\": \"{adversary}\", \
+                 \"p\": 8, \"t\": 32, \"d\": 4, \"seeds\": 1, \
+                 \"metrics\": {{\"mean_work\": {work}}}}}"
+            )
+        };
+        let old = set(&[cell("crash:07", 64.0), cell("crash:25@even", 40.0)].join(", "));
+        let new = set(&[cell("crash:7", 64.0), cell("crash:25", 40.0)].join(", "));
+        let cmp = compare(&old, &new, 0.0);
+        assert!(cmp.is_clean(), "{}", cmp.render_text());
+        assert_eq!(cmp.exact, 2);
+        // Keys outside the grammar pass through verbatim (no false merge).
+        let exotic = set(&cell("quantum:3", 1.0));
+        assert!(exotic.cells.keys().any(|k| k.adversary == "quantum:3"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The experiment registry: every `e01`–`e15` binary as a declarative
+//! The experiment registry: every `e01`–`e16` binary as a declarative
 //! scenario-grid spec plus a derived-metric function, all executed by the
 //! shared parallel sweep engine.
 //!
@@ -201,6 +201,33 @@ fn d_e15(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     let dc = d_contention_of_list(sched.as_slice(), cell.d as usize);
     m.insert("dcont".to_string(), dc.value as f64);
     ratio_quadratic(cell, m);
+}
+
+fn d_e16(cell: &Cell, m: &mut BTreeMap<String, f64>) {
+    ratio_quadratic(cell, m);
+    // Structural sanity under every adversary parameterization: all t
+    // tasks are performed at least once and a step performs at most one
+    // task, so W ≥ t whatever the duty cycle, stagger, or slowdown.
+    if let Some(&w) = m.get("mean_work") {
+        assert!(
+            w >= cell.t as f64,
+            "impossible work under {}: mean_work {w} < t = {}",
+            cell.adversary,
+            cell.t
+        );
+    }
+    // The afflicted-processor counts the sweep records must respect the
+    // ≥ 1 full-speed survivor cap the builders promise.
+    for key in ["crash_count", "straggler_count"] {
+        if let Some(&count) = m.get(key) {
+            assert!(
+                count < cell.p as f64,
+                "{} = {count} leaves no full-speed survivor at p = {}",
+                key,
+                cell.p
+            );
+        }
+    }
 }
 
 /// Every experiment in suite order.
@@ -544,6 +571,53 @@ pub fn registry() -> Vec<Experiment> {
             },
             derive: Some(d_e15),
         },
+        Experiment {
+            id: "e16",
+            title: "Adversary structure (§2.2 extension): bursty duty cycles × crash stagger × stragglers",
+            setup: "The adversaries' own knobs as grid axes: bursty phase period × d (square-wave congestion), crash stagger patterns (even | burst | front) at fixed pct, and persistent stragglers (pct × slowdown). Same roster subset on one shape, so rows differ only in adversary structure.",
+            notes: "Reading: the delay *ceiling* d undersells the adversary space — short bursty periods cost little while long congested phases approach the fixed-d wall; front-loaded crashes hurt more than evenly staggered ones (survivors run the whole execution short-handed); stragglers stretch σ but work stays bounded because slowed processors stop being charged between beats.",
+            trace: false,
+            max_ticks: DEFAULT_MAX_TICKS,
+            grids: || {
+                vec![
+                    g(
+                        &["paran1", "padet"],
+                        &["unit", "bursty:1", "bursty:8", "bursty:64"],
+                        &[(32, 256)],
+                        &[4, 16],
+                        3,
+                    ),
+                    g(
+                        &["paran1", "padet"],
+                        &["crash:25@even", "crash:25@burst", "crash:25@front", "crash:50@burst"],
+                        &[(32, 256)],
+                        &[8],
+                        3,
+                    ),
+                    g(
+                        &["paran1", "padet"],
+                        &["straggler:25:2", "straggler:25:4", "straggler:50:4"],
+                        &[(32, 256)],
+                        &[8],
+                        3,
+                    ),
+                ]
+            },
+            smoke: || {
+                vec![
+                    g(&["paran1"], &["bursty:2", "bursty:8"], &[(8, 32)], &[4], 2),
+                    g(
+                        &["paran1"],
+                        &["crash:50@even", "crash:50@burst", "crash:50@front"],
+                        &[(8, 32)],
+                        &[4],
+                        2,
+                    ),
+                    g(&["paran1"], &["straggler:25:4"], &[(8, 32)], &[4], 2),
+                ]
+            },
+            derive: Some(d_e16),
+        },
     ]
 }
 
@@ -682,14 +756,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_fifteen_unique_ids() {
+    fn registry_has_sixteen_unique_ids() {
         let reg = registry();
-        assert_eq!(reg.len(), 15);
+        assert_eq!(reg.len(), 16);
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 15);
+        assert_eq!(ids.len(), 16);
         assert!(by_id("e01").is_some());
-        assert!(by_id("e15").is_some());
+        assert!(by_id("e16").is_some());
         assert!(by_id("e99").is_none());
     }
 
@@ -716,7 +790,7 @@ mod tests {
         for exp in registry() {
             for grid in (exp.smoke)() {
                 algos.extend(grid.algos.clone());
-                advs.extend(grid.adversaries.clone());
+                advs.extend(grid.adversaries.iter().map(ToString::to_string));
             }
         }
         for key in ROSTER {
@@ -736,6 +810,22 @@ mod tests {
             assert!(advs.contains(key), "adversary {key} missing from smoke");
         }
         assert!(advs.iter().any(|a| a.starts_with("crash:")));
+        // The parameterized families: every knob axis is exercised by CI.
+        assert!(
+            advs.iter().any(|a| a.starts_with("bursty:")),
+            "no bursty period knob in smoke: {advs:?}"
+        );
+        for stagger in ["@burst", "@front"] {
+            assert!(
+                advs.iter()
+                    .any(|a| a.starts_with("crash:") && a.ends_with(stagger)),
+                "no crash {stagger} stagger in smoke: {advs:?}"
+            );
+        }
+        assert!(
+            advs.iter().any(|a| a.starts_with("straggler:")),
+            "no straggler cell in smoke: {advs:?}"
+        );
     }
 
     #[test]

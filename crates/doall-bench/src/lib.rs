@@ -1,6 +1,6 @@
 //! The experiment harness: declarative scenario grids, a parallel sweep
 //! engine, machine-readable results, and the registry that defines every
-//! `e01`–`e15` experiment.
+//! `e01`–`e16` experiment.
 //!
 //! Each experiment is a thin binary under `src/bin/` that calls
 //! [`experiment_main`]; `all_experiments` runs the whole registry
@@ -32,7 +32,7 @@ pub use compare::{
     CellStatus, CompareError, Comparison, MetricDelta, DIFF_SCHEMA_VERSION,
 };
 pub use experiments::{by_id, experiment_main, registry, run_experiment, suite_main, Experiment};
-pub use grid::{Cell, Grid, GridError};
+pub use grid::{AdversarySpec, Cell, CrashStagger, Grid, GridError};
 pub use output::{Flags, Format, Record, ResultSet, SCHEMA_VERSION};
 pub use sweep::{
     effective_shard_size, run_cells, run_cells_with_stats, CellMeasurement, SweepConfig,

@@ -83,7 +83,7 @@ impl ResultSet {
                  \"p\": {}, \"t\": {}, \"d\": {}, \"seeds\": {}, \"metrics\": {{",
                 json_escape(&r.experiment),
                 json_escape(&r.cell.algo),
-                json_escape(&r.cell.adversary),
+                json_escape(&r.cell.adversary.to_string()),
                 r.cell.p,
                 r.cell.t,
                 r.cell.d,
@@ -158,7 +158,7 @@ impl ResultSet {
             for r in group {
                 let mut row = vec![
                     r.cell.algo.clone(),
-                    r.cell.adversary.clone(),
+                    r.cell.adversary.to_string(),
                     r.cell.p.to_string(),
                     r.cell.t.to_string(),
                     r.cell.d.to_string(),
@@ -356,7 +356,7 @@ mod tests {
             experiment: exp.to_string(),
             cell: Cell {
                 algo: algo.to_string(),
-                adversary: "stage".to_string(),
+                adversary: crate::grid::AdversarySpec::Stage,
                 p: 4,
                 t: 16,
                 d,

@@ -16,7 +16,7 @@
 //!
 //! [`RunReport`]: doall_core::RunReport
 
-use crate::grid::{build_adversary, build_algorithm, Cell, GridError, ALGO_NONE};
+use crate::grid::{build_adversary, build_algorithm, AdversarySpec, Cell, GridError, ALGO_NONE};
 use doall_core::Instance;
 use doall_sim::analysis::{execution_profile, summarize, BatchSummary, ProfilePartial};
 use doall_sim::{Simulation, Trace, DEFAULT_MAX_TICKS};
@@ -148,6 +148,10 @@ pub struct CellMeasurement {
     /// Mean number of scheduled crashes that fired before σ, per
     /// replicate (`crash:<pct>` adversaries only).
     pub mean_crashes_fired: Option<f64>,
+    /// Number of persistently slow processors (`straggler:<pct>:<slowdown>`
+    /// adversaries only) — the actual count after rounding and the
+    /// `p − 1` full-speed cap, mirroring `crash_count`.
+    pub straggler_count: Option<f64>,
 }
 
 impl CellMeasurement {
@@ -180,6 +184,9 @@ impl CellMeasurement {
         }
         if let Some(fired) = self.mean_crashes_fired {
             metrics.insert("mean_crashes_fired".to_string(), fired);
+        }
+        if let Some(count) = self.straggler_count {
+            metrics.insert("straggler_count".to_string(), count);
         }
         metrics
     }
@@ -296,7 +303,7 @@ pub fn run_cells_with_stats(
     // schedule lists.
     for cell in cells {
         crate::grid::validate_algo_key(&cell.algo)?;
-        crate::grid::validate_adversary_key(&cell.adversary)?;
+        // Adversaries are structured specs — valid by construction.
         let instance =
             Instance::new(cell.p, cell.t).map_err(|e| SweepError::Instance(e.to_string()))?;
         if cell.algo == "padet-affine" {
@@ -403,7 +410,7 @@ fn run_shard(
             let seed = cell.run_seed(k);
             let algo = build_algorithm(&cell.algo, instance, seed).expect("validated above");
             let adversary =
-                build_adversary(&cell.adversary, cell.p, cell.t, cell.d, seed, cfg.max_ticks)?;
+                build_adversary(&cell.adversary, cell.p, cell.t, cell.d, seed, cfg.max_ticks);
             let sim =
                 Simulation::new(instance, algo.spawn(instance), adversary).max_ticks(cfg.max_ticks);
             // Reuse the worker's buffer only when its capacity covers
@@ -441,7 +448,6 @@ fn run_shard(
                     cell.run_seed(shard.start + k),
                     cfg.max_ticks,
                 )
-                .expect("validated before spawning workers")
             },
         );
     }
@@ -470,6 +476,7 @@ fn merge_cell(cell: &Cell, cfg: &SweepConfig, shards: Vec<Option<ShardOutput>>) 
             mean_secondary: None,
             crash_count: None,
             mean_crashes_fired: None,
+            straggler_count: None,
         };
     }
     let mut reports = Vec::with_capacity(cell.seeds as usize);
@@ -485,6 +492,15 @@ fn merge_cell(cell: &Cell, cfg: &SweepConfig, shards: Vec<Option<ShardOutput>>) 
     }
     assert_eq!(reports.len(), cell.seeds as usize, "all replicates merged");
     let (crash_count, mean_crashes_fired) = crash_stats(cell, cfg, &reports);
+    let straggler_count = match cell.adversary {
+        AdversarySpec::Straggler { pct, .. } => Some(
+            crate::grid::straggler_flags(pct, cell.p)
+                .iter()
+                .filter(|&&slow| slow)
+                .count() as f64,
+        ),
+        _ => None,
+    };
     CellMeasurement {
         cell: cell.clone(),
         summary: Some(summarize(&reports)),
@@ -492,6 +508,7 @@ fn merge_cell(cell: &Cell, cfg: &SweepConfig, shards: Vec<Option<ShardOutput>>) 
         mean_secondary: profile.as_ref().map(ProfilePartial::mean_secondary),
         crash_count,
         mean_crashes_fired,
+        straggler_count,
     }
 }
 
@@ -515,11 +532,10 @@ fn crash_stats(
     cfg: &SweepConfig,
     reports: &[doall_core::RunReport],
 ) -> (Option<f64>, Option<f64>) {
-    let Some(pct) = cell.adversary.strip_prefix("crash:") else {
+    let AdversarySpec::Crash { pct, stagger } = cell.adversary else {
         return (None, None);
     };
-    let pct: u64 = pct.parse().expect("validated");
-    let plan = crate::grid::crash_plan(pct, cell.p, cell.t, cfg.max_ticks);
+    let plan = crate::grid::crash_plan(pct, stagger, cell.p, cell.t, cfg.max_ticks);
     let scheduled = plan.iter().flatten().count();
     let mut fired_total = 0usize;
     for report in reports {
@@ -900,6 +916,97 @@ mod tests {
         .unwrap();
         assert!(!plain[0].metrics().contains_key("crash_count"));
         assert!(!plain[0].metrics().contains_key("mean_crashes_fired"));
+    }
+
+    #[test]
+    fn bursty_differs_from_unit_for_d_at_least_2() {
+        // Run the *identically seeded* algorithm under both adversaries,
+        // so the only difference between the two executions is the
+        // adversary's behaviour — cell seeding cannot confound this the
+        // way a two-cell grid comparison would.
+        //
+        // Regression guard for the degenerate case: at d = 1 bursty's
+        // congested delay equals its calm delay, so it silently equals
+        // `unit`; from d ≥ 2 the square wave must actually bite.
+        let instance = Instance::new(16, 64).unwrap();
+        let run = |key: &str, d: u64| {
+            let spec = AdversarySpec::parse(key).unwrap();
+            let algo = build_algorithm("paran1", instance, 7).unwrap();
+            Simulation::new(
+                instance,
+                algo.spawn(instance),
+                build_adversary(&spec, 16, 64, d, 7, 1_000_000),
+            )
+            .max_ticks(1_000_000)
+            .run()
+        };
+        for bursty_key in ["bursty", "bursty:2"] {
+            let unit = run("unit", 8);
+            let bursty = run(bursty_key, 8);
+            assert!(unit.completed && bursty.completed);
+            assert!(
+                (unit.work, unit.messages) != (bursty.work, bursty.messages),
+                "{bursty_key}: bursty at d ≥ 2 must not match the unit profile \
+                 (work {}, messages {})",
+                bursty.work,
+                bursty.messages,
+            );
+        }
+        // At d = 1 the degenerate collapse is real — and documented.
+        let unit = run("unit", 1);
+        let bursty = run("bursty:4", 1);
+        assert_eq!(
+            (unit.work, unit.messages),
+            (bursty.work, bursty.messages),
+            "d = 1 bursty degenerates to unit (congested delay = calm delay)"
+        );
+    }
+
+    #[test]
+    fn crash_stagger_cells_are_distinct_and_all_fire() {
+        let cells = Grid::parse(
+            "algos=paran1 advs=crash:50@even,crash:50@burst,crash:50@front shapes=8x64 ds=2 \
+             seeds=2",
+        )
+        .unwrap()
+        .cells();
+        let out = run_cells(&cells, &SweepConfig::default()).unwrap();
+        for m in &out {
+            let metrics = m.metrics();
+            assert_eq!(metrics["crash_count"], 4.0, "{}", m.cell.adversary);
+            assert!(metrics["mean_crashes_fired"] >= 1.0, "{}", m.cell.adversary);
+        }
+        // The stagger is a real knob: front-loaded crashes leave the
+        // survivors short-handed for the whole run, so the three patterns
+        // cannot all produce the same profile.
+        let works: Vec<f64> = out
+            .iter()
+            .map(|m| m.summary.clone().unwrap().mean_work)
+            .collect();
+        assert!(
+            works.windows(2).any(|w| w[0] != w[1]),
+            "staggers even/burst/front all measured identically: {works:?}"
+        );
+    }
+
+    #[test]
+    fn straggler_cells_record_their_count() {
+        let cells = Grid::parse(
+            "algos=paran1 advs=straggler:25:4,straggler:100:2 shapes=8x32 \
+                                 ds=2 seeds=2",
+        )
+        .unwrap()
+        .cells();
+        let out = run_cells(&cells, &SweepConfig::default()).unwrap();
+        assert_eq!(out[0].metrics()["straggler_count"], 2.0, "25% of p=8");
+        assert_eq!(out[1].metrics()["straggler_count"], 7.0, "capped at p − 1");
+        // Non-straggler adversaries carry no straggler metrics.
+        let plain = run_cells(
+            &Grid::parse("algos=paran1 shapes=4x8").unwrap().cells(),
+            &SweepConfig::default(),
+        )
+        .unwrap();
+        assert!(!plain[0].metrics().contains_key("straggler_count"));
     }
 
     #[test]

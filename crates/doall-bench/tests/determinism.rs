@@ -39,12 +39,13 @@ fn render(grid: &Grid, threads: usize) -> (String, String) {
 }
 
 /// A grid wide enough to make scheduling races visible: randomized
-/// algorithms, a seeded adversary, replicates, and more cells than
-/// workers so claim order varies between runs.
+/// algorithms, seeded and knob-parameterized adversaries, replicates,
+/// and more cells than workers so claim order varies between runs.
 fn racy_grid() -> Grid {
     Grid::parse(
-        "algos=paran1,paran2,da:2,padet advs=stage,random,fixed shapes=4x8,8x8 ds=1,2 seeds=3 \
-         seed=11",
+        "algos=paran1,paran2,da:2,padet \
+         advs=stage,random,fixed,bursty:2,crash:50@front,straggler:50:2 shapes=4x8,8x8 ds=1,2 \
+         seeds=3 seed=11",
     )
     .expect("valid grid")
 }

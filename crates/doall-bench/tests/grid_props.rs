@@ -1,11 +1,13 @@
 //! Property tests for the grid spec language: `Grid::parse` and
-//! `Display` round-trip over random axis contents, and duplicate axis
-//! values are always rejected — the invariants the sweep engine and the
-//! baseline comparator lean on (cells are keyed by their parameters, so
-//! a spec that re-parses differently or expands to duplicate cells would
-//! silently corrupt results).
+//! `Display` round-trip over random axis contents — including the
+//! parameterized adversary grammar — duplicate axis values are always
+//! rejected, and numeric adversary knobs canonicalize to one spelling.
+//! These are the invariants the sweep engine and the baseline comparator
+//! lean on (cells are keyed by their parameters, so a spec that
+//! re-parses differently or expands to duplicate cells would silently
+//! corrupt results).
 
-use doall_bench::grid::Grid;
+use doall_bench::grid::{AdversarySpec, CrashStagger, Grid};
 use proptest::prelude::*;
 
 /// Every algorithm key the grid language accepts, including the
@@ -28,18 +30,30 @@ const ALGO_POOL: &[&str] = &[
     "none",
 ];
 
-/// Every adversary key, with crash percentages at the boundaries.
+/// Every adversary family, with the knobs at a few parameter points.
+/// Entries are canonical spellings (parsing any of them and re-rendering
+/// reproduces the entry), so subsets are duplicate-free as specs too.
 const ADV_POOL: &[&str] = &[
     "unit",
     "fixed",
     "random",
     "stage",
     "bursty",
+    "bursty:3",
+    "bursty:64",
     "lb",
+    "lb:2",
     "lbrand",
+    "lbrand:9",
     "crash:0",
     "crash:37",
     "crash:100",
+    "crash:37@burst",
+    "crash:37@front",
+    "crash:100@burst",
+    "straggler:25:2",
+    "straggler:25:4",
+    "straggler:100:3",
 ];
 
 /// Selects the pool entries named by a non-zero bitmask — a cheap way to
@@ -49,6 +63,13 @@ fn subset(pool: &[&str], mask: u32) -> Vec<String> {
         .enumerate()
         .filter(|(i, _)| mask & (1 << i) != 0)
         .map(|(_, key)| (*key).to_string())
+        .collect()
+}
+
+fn adversary_subset(mask: u32) -> Vec<AdversarySpec> {
+    subset(ADV_POOL, mask)
+        .iter()
+        .map(|key| AdversarySpec::parse(key).expect("pool keys are valid"))
         .collect()
 }
 
@@ -73,7 +94,7 @@ fn arbitrary_grid(
 ) -> Grid {
     Grid {
         algos: subset(ALGO_POOL, algo_mask),
-        adversaries: subset(ADV_POOL, adv_mask),
+        adversaries: adversary_subset(adv_mask),
         shapes: dedup_keep_order(raw_shapes),
         ds: dedup_keep_order(raw_ds),
         seeds,
@@ -83,7 +104,8 @@ fn arbitrary_grid(
 
 proptest! {
     /// The headline ROADMAP property: `Grid::parse(g.to_string()) == g`
-    /// for grids assembled from random axis contents.
+    /// for grids assembled from random axis contents — adversary knobs
+    /// included.
     #[test]
     fn parse_display_round_trips(
         algo_mask in 1u32..(1 << ALGO_POOL.len()),
@@ -104,6 +126,58 @@ proptest! {
         prop_assert_eq!(reparsed.to_string(), spec);
         // And equal grids expand to equal cells (same seeds, same order).
         prop_assert_eq!(reparsed.cells(), grid.cells());
+    }
+
+    /// Random `AdversarySpec`s round-trip through their rendered spelling,
+    /// and numeric knobs canonicalize: zero-padding or an explicit default
+    /// stagger never creates a second spelling of the same adversary.
+    #[test]
+    fn adversary_specs_round_trip_and_canonicalize(
+        pct in 0u64..=100,
+        straggler_pct in 1u64..=100,
+        period in 1u64..=512,
+        stage in 1u64..=512,
+        slowdown in 2u64..=64,
+        pad in 1usize..=4,
+        stagger_pick in 0usize..3,
+    ) {
+        let stagger = [CrashStagger::Even, CrashStagger::Burst, CrashStagger::Front]
+            [stagger_pick];
+        let specs = [
+            AdversarySpec::Bursty { period: Some(period) },
+            AdversarySpec::Lb { stage: Some(stage) },
+            AdversarySpec::Lbrand { stage: Some(stage) },
+            AdversarySpec::Crash { pct, stagger },
+            AdversarySpec::Straggler { pct: straggler_pct, slowdown },
+        ];
+        for spec in specs {
+            let rendered = spec.to_string();
+            prop_assert_eq!(AdversarySpec::parse(&rendered).unwrap(), spec);
+        }
+        // Zero-padded numeric knobs parse to the same spec as the
+        // canonical spelling (the old bug gave `crash:07` and `crash:7`
+        // distinct cell identities) …
+        let padded = format!("crash:{pct:0pad$}@{}", stagger.label());
+        let canonical = AdversarySpec::Crash { pct, stagger };
+        prop_assert_eq!(AdversarySpec::parse(&padded).unwrap(), canonical);
+        // … and Display emits exactly one spelling, with default knobs
+        // elided.
+        let rendered = canonical.to_string();
+        if stagger == CrashStagger::Even {
+            prop_assert_eq!(&rendered, &format!("crash:{pct}"));
+        } else {
+            prop_assert_eq!(&rendered, &format!("crash:{pct}@{}", stagger.label()));
+        }
+        let padded_bursty = format!("bursty:{period:0pad$}");
+        prop_assert_eq!(
+            AdversarySpec::parse(&padded_bursty).unwrap().to_string(),
+            format!("bursty:{period}")
+        );
+        let padded_straggler = format!("straggler:{straggler_pct:0pad$}:{slowdown:0pad$}");
+        prop_assert_eq!(
+            AdversarySpec::parse(&padded_straggler).unwrap().to_string(),
+            format!("straggler:{straggler_pct}:{slowdown}")
+        );
     }
 
     /// Duplicating any single value in any axis must be rejected — by
@@ -127,7 +201,7 @@ proptest! {
                 bad.algos.push(v);
             }
             1 => {
-                let v = bad.adversaries[pick as usize % bad.adversaries.len()].clone();
+                let v = bad.adversaries[pick as usize % bad.adversaries.len()];
                 bad.adversaries.push(v);
             }
             2 => {
@@ -153,4 +227,68 @@ proptest! {
         // The untouched grid still parses — the rejection is specific.
         prop_assert!(Grid::parse(&good.to_string()).is_ok());
     }
+}
+
+#[test]
+fn malformed_adversary_knobs_are_rejected_with_useful_errors() {
+    for (bad, needle) in [
+        ("bursty:0", "at least 1"),
+        ("bursty:soon", "not a number"),
+        ("crash:150@even", "0–100"),
+        ("crash:25@sideways", "even|burst|front"),
+        ("crash", "crash:<pct>"),
+        ("lb:0", "at least 1"),
+        ("straggler:0:3", "1–100"),
+        ("straggler:25:1", "at least 2"),
+        ("unit:4", "takes no parameter"),
+        ("frobnicate", "unknown adversary"),
+    ] {
+        let e = AdversarySpec::parse(bad)
+            .expect_err(&format!("`{bad}` should fail"))
+            .to_string();
+        assert!(e.contains(needle), "`{bad}` error `{e}` lacks `{needle}`");
+        // And the same rejection surfaces through a full grid spec.
+        assert!(
+            Grid::parse(&format!("algos=paran1 advs={bad} shapes=4x8")).is_err(),
+            "`{bad}` accepted inside a grid"
+        );
+    }
+}
+
+#[test]
+fn bare_legacy_keys_parse_to_documented_defaults() {
+    use doall_bench::grid::{DEFAULT_STRAGGLER_PCT, DEFAULT_STRAGGLER_SLOWDOWN};
+    assert_eq!(
+        AdversarySpec::parse("bursty").unwrap(),
+        AdversarySpec::Bursty { period: None }
+    );
+    assert_eq!(
+        AdversarySpec::parse("lb").unwrap(),
+        AdversarySpec::Lb { stage: None }
+    );
+    assert_eq!(
+        AdversarySpec::parse("lbrand").unwrap(),
+        AdversarySpec::Lbrand { stage: None }
+    );
+    assert_eq!(
+        AdversarySpec::parse("crash:25").unwrap(),
+        AdversarySpec::Crash {
+            pct: 25,
+            stagger: CrashStagger::Even,
+        }
+    );
+    assert_eq!(
+        AdversarySpec::parse("straggler").unwrap(),
+        AdversarySpec::Straggler {
+            pct: DEFAULT_STRAGGLER_PCT,
+            slowdown: DEFAULT_STRAGGLER_SLOWDOWN,
+        }
+    );
+    // A legacy spec renders identically to its pre-parameterization form,
+    // so old baselines keep their cell identities.
+    let grid = Grid::parse("algos=paran1 advs=bursty,crash:50,lb shapes=4x8").unwrap();
+    assert_eq!(
+        grid.to_string(),
+        "algos=paran1 advs=bursty,crash:50,lb shapes=4x8 ds=1 seeds=1 seed=0"
+    );
 }

@@ -101,6 +101,22 @@ impl Ord for Held {
 /// Do-All contract). Must be idempotent and thread-safe.
 pub type TaskBody = dyn Fn(TaskId) + Send + Sync;
 
+/// Engine-side accounting of a threaded run — never part of the
+/// [`RunReport`] (which must describe the algorithm, not the harness).
+/// Exposed for tests and diagnostics, mirroring the sweep engine's
+/// `run_cells_with_stats` pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RuntimeStats {
+    /// Messages drained (and dropped) by crashed workers. A crashed
+    /// processor is an infinitely delayed one, so its inbox keeps
+    /// receiving; draining it bounds the channel's memory instead of
+    /// letting the router grow it for the rest of the run.
+    pub crashed_drained: u64,
+    /// Largest batch a crashed worker drained in one wake — an upper
+    /// bound on how big its inbox ever got after the crash.
+    pub max_crashed_backlog: u64,
+}
+
 /// Runs `procs` on OS threads with a no-op task body — bookkeeping only.
 /// See [`run_threaded_with_tasks`] to execute real work per task.
 ///
@@ -140,6 +156,23 @@ pub fn run_threaded_with_tasks(
     config: &RuntimeConfig,
     body: Arc<TaskBody>,
 ) -> RunReport {
+    run_threaded_with_stats(instance, procs, config, body).0
+}
+
+/// [`run_threaded_with_tasks`] plus the harness's own accounting
+/// ([`RuntimeStats`]) — the probe the crashed-inbox regression test uses
+/// to assert that a crashed processor's channel stays bounded.
+///
+/// # Panics
+///
+/// Panics under the same conditions as [`run_threaded_with_tasks`].
+#[must_use]
+pub fn run_threaded_with_stats(
+    instance: Instance,
+    procs: Vec<Box<dyn DoAllProcess>>,
+    config: &RuntimeConfig,
+    body: Arc<TaskBody>,
+) -> (RunReport, RuntimeStats) {
     let p = instance.processors();
     let t = instance.tasks();
     assert_eq!(
@@ -240,11 +273,24 @@ pub fn run_threaded_with_tasks(
         workers.push(std::thread::spawn(move || {
             let mut steps: u64 = 0;
             let mut sent: u64 = 0;
+            let mut drained: u64 = 0;
+            let mut max_backlog: u64 = 0;
             let mut inbox: Vec<Message> = Vec::new();
             while !done.load(Ordering::Acquire) && Instant::now() < deadline {
                 if budget.is_some_and(|b| steps >= b) {
-                    // Crashed: stop stepping (messages keep queueing,
-                    // exactly like an infinitely delayed processor).
+                    // Crashed: stop stepping, but drain-and-drop the inbox
+                    // each wake — the router keeps sending into this
+                    // unbounded channel for the rest of the run, and
+                    // before this drain a long run with a chatty peer
+                    // grew the crashed processor's queue without bound.
+                    // (A crashed processor never *reads* its messages;
+                    // dropping them is exactly the infinite-delay model.)
+                    let mut batch: u64 = 0;
+                    while rx.try_recv().is_ok() {
+                        batch += 1;
+                    }
+                    drained += batch;
+                    max_backlog = max_backlog.max(batch);
                     std::thread::sleep(Duration::from_millis(1));
                     continue;
                 }
@@ -283,7 +329,7 @@ pub fn run_threaded_with_tasks(
                     std::thread::sleep(pace);
                 }
             }
-            (steps, sent)
+            (steps, sent, drained, max_backlog)
         }));
     }
     drop(to_router);
@@ -291,24 +337,28 @@ pub fn run_threaded_with_tasks(
     let mut work = 0u64;
     let mut messages = 0u64;
     let mut per_proc = Vec::with_capacity(p);
+    let mut stats = RuntimeStats::default();
     for w in workers {
-        let (steps, sent) = w.join().expect("worker panicked");
+        let (steps, sent, drained, max_backlog) = w.join().expect("worker panicked");
         work += steps;
         messages += sent;
         per_proc.push(steps);
+        stats.crashed_drained += drained;
+        stats.max_crashed_backlog = stats.max_crashed_backlog.max(max_backlog);
     }
     router.join().expect("router panicked");
 
     let all_done = ground_truth.lock().is_full();
     let informed = done.load(Ordering::Acquire);
-    RunReport {
+    let report = RunReport {
         work,
         messages,
         sigma: (informed && all_done)
             .then(|| u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)),
         completed: informed && all_done,
         work_per_processor: per_proc,
-    }
+    };
+    (report, stats)
 }
 
 #[cfg(test)]
@@ -423,6 +473,92 @@ mod tests {
         let report = run_threaded(instance, vec![Box::new(Idler)], &config);
         assert!(!report.completed);
         assert_eq!(report.sigma, None);
+    }
+
+    /// Performs its tasks one per step and broadcasts every performance —
+    /// the worst case for a crashed peer's inbox.
+    #[derive(Clone)]
+    struct ChattySweep {
+        pid: ProcId,
+        next: usize,
+        t: usize,
+    }
+
+    impl DoAllProcess for ChattySweep {
+        fn pid(&self) -> ProcId {
+            self.pid
+        }
+        fn step(&mut self, _inbox: &[Message]) -> StepOutcome {
+            if self.next < self.t {
+                self.next += 1;
+                let mut bits = BitSet::new(self.t);
+                for z in 0..self.next {
+                    bits.insert(z);
+                }
+                StepOutcome::perform_and_broadcast(TaskId::new(self.next - 1), bits)
+            } else {
+                StepOutcome::internal()
+            }
+        }
+        fn knows_all_done(&self) -> bool {
+            self.next >= self.t
+        }
+        fn clone_box(&self) -> Box<dyn DoAllProcess> {
+            Box::new(self.clone())
+        }
+    }
+
+    #[test]
+    fn crashed_worker_drains_its_inbox() {
+        // Regression: a crashed worker used to sleep without ever reading
+        // its receiver, so the router kept filling the unbounded channel
+        // for the rest of the run. Post-fix the crashed branch drains and
+        // drops each wake, keeping the backlog bounded by one wake's
+        // arrivals instead of the whole run's traffic.
+        let t = 300;
+        let instance = Instance::new(2, t).unwrap();
+        let procs: Vec<Box<dyn DoAllProcess>> = vec![
+            Box::new(ChattySweep {
+                pid: ProcId::new(0),
+                next: 0,
+                t,
+            }),
+            Box::new(ChattySweep {
+                pid: ProcId::new(1),
+                next: 0,
+                t,
+            }),
+        ];
+        let config = RuntimeConfig {
+            max_delay: Duration::ZERO,
+            // Processor 1 crashes before its first step; processor 0 does
+            // everything, broadcasting ~t messages at its crashed peer.
+            crash_after_steps: vec![None, Some(0)],
+            // Pace the survivor so the run spans many of the crashed
+            // worker's 1 ms wake-ups.
+            step_interval: Duration::from_micros(100),
+            ..Default::default()
+        };
+        let (report, stats) = run_threaded_with_stats(instance, procs, &config, Arc::new(|_| {}));
+        assert!(report.completed, "{report}");
+        assert!(
+            stats.crashed_drained > 0,
+            "the crashed worker must drain its inbox: {stats:?}"
+        );
+        assert!(
+            stats.crashed_drained <= report.messages,
+            "cannot drain more than was ever sent: {stats:?} vs {report}"
+        );
+        assert!(stats.max_crashed_backlog <= stats.crashed_drained);
+        // A run without crashes drains nothing.
+        let instance = Instance::new(2, 10).unwrap();
+        let (_, clean) = run_threaded_with_stats(
+            instance,
+            sweeps(2, 10),
+            &RuntimeConfig::default(),
+            Arc::new(|_| {}),
+        );
+        assert_eq!(clean, RuntimeStats::default());
     }
 
     #[test]

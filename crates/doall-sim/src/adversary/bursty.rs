@@ -14,6 +14,12 @@ use doall_core::{DoAllProcess, ProcId};
 /// Delay oscillates between `1` (calm phase) and `d` (congested phase),
 /// switching every `period` time units — a square-wave latency profile
 /// bounded by `d`.
+///
+/// Degenerate case: at `d = 1` the congested delay equals the calm
+/// delay, so the square wave flattens to constant delay 1 — behaviour
+/// identical to [`super::UnitDelay`] whatever the period. Callers that
+/// sweep `d` should treat `d = 1` bursty cells as a `unit` baseline, not
+/// a distinct scenario.
 #[derive(Debug, Clone)]
 pub struct BurstyDelay {
     d: u64,
@@ -84,14 +90,19 @@ impl Stragglers {
     ///
     /// # Panics
     ///
-    /// Panics if `slowdown == 0` or every processor is marked slow with a
-    /// slowdown that would let nobody step on off-beats — at least the
-    /// layout must leave one full-speed processor (mirroring the crash
-    /// restriction, though stragglers do eventually step).
+    /// Panics if `slowdown == 0`, `slow` is empty, or every processor is
+    /// marked slow — the layout must leave at least one full-speed
+    /// processor, mirroring the crash model's ≥ 1 survivor restriction
+    /// (though stragglers, unlike crashed processors, do eventually
+    /// step).
     #[must_use]
     pub fn new(inner: Box<dyn Adversary>, slow: Vec<bool>, slowdown: u64) -> Self {
         assert!(slowdown >= 1, "slowdown factor must be at least 1");
         assert!(!slow.is_empty(), "need at least one processor");
+        assert!(
+            slow.contains(&false),
+            "at least one processor must run full speed"
+        );
         Self {
             inner,
             slow,

@@ -54,9 +54,29 @@ impl LowerBoundAdversary {
     /// Panics if `d == 0` or `tasks == 0`.
     #[must_use]
     pub fn new(d: u64, tasks: usize) -> Self {
+        let stage_len = d.min(((tasks as u64) / 6).max(1));
+        Self::with_stage_len(d, tasks, stage_len)
+    }
+
+    /// Creates the adversary with an explicit stage length `L` instead of
+    /// the paper's `min{d, max(⌊t/6⌋, 1)}` — the knob behind the grid
+    /// harness's `lb:<stage>` keys. Messages submitted during a stage are
+    /// delivered at its end, so `L ≤ d` is required for the construction
+    /// to remain a legal d-adversary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`, `tasks == 0`, `stage_len == 0`, or
+    /// `stage_len > d`.
+    #[must_use]
+    pub fn with_stage_len(d: u64, tasks: usize, stage_len: u64) -> Self {
         assert!(d >= 1, "message delay bound must be at least 1");
         assert!(tasks >= 1, "need at least one task");
-        let stage_len = d.min(((tasks as u64) / 6).max(1));
+        assert!(stage_len >= 1, "stage length must be at least 1");
+        assert!(
+            stage_len <= d,
+            "stage length {stage_len} exceeds the delay bound {d}"
+        );
         Self {
             d,
             stage_len,

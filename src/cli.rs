@@ -24,7 +24,8 @@ use crate::sim::{Adversary, Simulation};
 use crate::Instance;
 use doall_bench::compare::{compare, compare_files, load_result_set, BaselineSet};
 use doall_bench::grid::{
-    build_adversary, build_algorithm, validate_adversary_key, validate_algo_key, Grid,
+    build_adversary, build_algorithm, validate_adversary_key, validate_algo_key, AdversarySpec,
+    Grid,
 };
 use doall_bench::output::{emit, Flags, Format, Record, ResultSet};
 use doall_bench::sweep::{run_cells, SweepConfig};
@@ -170,7 +171,14 @@ ALGORITHMS (A):
   | padet | padet-rot | padet-affine | gossip:<fanout>
 
 ADVERSARIES (ADV, default 'stage'):
-  unit | fixed | random | stage | bursty | lb | lbrand | crash:<pct>
+  unit | fixed | random | stage | bursty[:<period>] | lb[:<stage>]
+  | lbrand[:<stage>] | crash:<pct>[@even|@burst|@front]
+  | straggler[:<pct>[:<slowdown>]]
+
+Adversaries are parameterized: bare keys keep their legacy defaults
+(bursty period max(d/2,1); lb/lbrand stage min(d, max(t/6,1)); crash
+stagger even; straggler 25% at slowdown 2). Numeric knobs canonicalize
+(crash:07 ≡ crash:7), so one adversary has one cell identity.
 
 Sweeps run on the doall-bench harness: work is scheduled as (cell,
 replicate-chunk) shards across a thread pool with per-replicate
@@ -340,7 +348,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                     }
                     let grid = Grid {
                         algos: vec![algo],
-                        adversaries: vec![adversary],
+                        adversaries: vec![AdversarySpec::parse(&adversary)
+                            .map_err(|e| err(format!("{e}; try `doall help`")))?],
                         shapes: vec![(p, t)],
                         ds,
                         seeds: 1,
@@ -489,22 +498,24 @@ impl RunSpec {
     }
 
     /// Builds the adversary named by `self.adversary` with bound `d` via
-    /// the shared harness constructor
-    /// ([`doall_bench::grid::build_adversary`]).
+    /// the shared harness grammar and constructor
+    /// ([`doall_bench::grid::AdversarySpec`] /
+    /// [`doall_bench::grid::build_adversary`]).
     ///
     /// # Errors
     ///
-    /// Returns a [`CliError`] for an unknown key.
+    /// Returns a [`CliError`] for an unknown key or bad knob.
     pub fn adversary(&self) -> Result<Box<dyn Adversary>, CliError> {
-        build_adversary(
-            &self.adversary,
+        let spec = AdversarySpec::parse(&self.adversary)
+            .map_err(|e| err(format!("{e}; try `doall help`")))?;
+        Ok(build_adversary(
+            &spec,
             self.p,
             self.t,
             self.d,
             self.seed,
             CLI_MAX_TICKS,
-        )
-        .map_err(|e| err(format!("{e}; try `doall help`")))
+        ))
     }
 }
 
@@ -774,7 +785,20 @@ mod tests {
         for algo in [
             "soloall", "oblido", "da:2", "da:3", "paran1", "paran2", "padet", "gossip:2",
         ] {
-            for adv in ["unit", "fixed", "random", "stage", "bursty", "lb", "lbrand"] {
+            for adv in [
+                "unit",
+                "fixed",
+                "random",
+                "stage",
+                "bursty",
+                "bursty:3",
+                "lb",
+                "lb:2",
+                "lbrand",
+                "lbrand:2",
+                "crash:25@burst",
+                "straggler:25:4",
+            ] {
                 let spec = RunSpec {
                     algo: algo.to_string(),
                     p: 4,
@@ -864,7 +888,10 @@ mod tests {
         match cmd {
             Command::Sweep(spec) => {
                 assert_eq!(spec.grid.algos, vec!["gossip:3"]);
-                assert_eq!(spec.grid.adversaries, vec!["lbrand"]);
+                assert_eq!(
+                    spec.grid.adversaries,
+                    vec![AdversarySpec::Lbrand { stage: None }]
+                );
                 assert_eq!(spec.grid.shapes, vec![(5, 40)]);
                 assert_eq!(spec.grid.ds, vec![7], "-d pins a single delay bound");
                 assert_eq!(spec.grid.base_seed, seed);
@@ -916,6 +943,55 @@ mod tests {
             "algos=frobnicate shapes=4x8".to_string(),
         ];
         assert!(parse(&bad_grid).is_err());
+    }
+
+    #[test]
+    fn sweep_grid_accepts_parameterized_adversary_keys_verbatim() {
+        use doall_bench::grid::CrashStagger;
+        let argv = vec![
+            "sweep".to_string(),
+            "--grid".to_string(),
+            "algos=da:3 advs=bursty:4,crash:25@burst,straggler:25:4 shapes=16x64 ds=2,8 seeds=3 \
+             seed=0"
+                .to_string(),
+        ];
+        match parse(&argv).unwrap() {
+            Command::Sweep(spec) => {
+                assert_eq!(
+                    spec.grid.adversaries,
+                    vec![
+                        AdversarySpec::Bursty { period: Some(4) },
+                        AdversarySpec::Crash {
+                            pct: 25,
+                            stagger: CrashStagger::Burst,
+                        },
+                        AdversarySpec::Straggler {
+                            pct: 25,
+                            slowdown: 4,
+                        },
+                    ]
+                );
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        // Legacy bare keys and zero-padded knobs still parse (the latter
+        // canonicalized), and malformed knobs are CLI errors.
+        assert!(parse(&args(
+            "simulate --algo paran1 -p 2 -t 4 -d 2 --adversary bursty"
+        ))
+        .is_ok());
+        assert!(parse(&args(
+            "simulate --algo paran1 -p 2 -t 4 -d 2 --adversary crash:07"
+        ))
+        .is_ok());
+        assert!(parse(&args(
+            "simulate --algo paran1 -p 2 -t 4 -d 2 --adversary straggler:0:3"
+        ))
+        .is_err());
+        assert!(parse(&args(
+            "simulate --algo paran1 -p 2 -t 4 -d 2 --adversary bursty:0"
+        ))
+        .is_err());
     }
 
     #[test]
