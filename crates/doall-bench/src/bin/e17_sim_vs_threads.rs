@@ -1,0 +1,10 @@
+//! E17 — simulation vs real threads: the same Do-All state machines run
+//! on the deterministic tick simulator and on `doall-runtime`'s OS
+//! threads (`backends=sim,threads` grid axis), with identical derived
+//! seeds across substrates.
+//!
+//! Declarative spec lives in `doall_bench::experiments` (id `e17`).
+
+fn main() {
+    doall_bench::experiment_main("e17");
+}

@@ -1,8 +1,10 @@
 //! Baseline comparison for sweep results: parse two result sets (our own
 //! JSON schema, read by a minimal hand-rolled parser — no serde), match
-//! cells by `(experiment, algo, adversary, p, t, d, seeds)`, and classify
-//! every matched cell as exact or drifting and every unmatched cell as
-//! added or removed.
+//! cells by `(experiment, algo, adversary, backend, p, t, d, seeds)`,
+//! and classify every matched cell as exact or drifting and every
+//! unmatched cell as added or removed. Records without a `backend` field
+//! (every pre-backend baseline) key as `"sim"`, so old files keep
+//! matching.
 //!
 //! The sweep harness is byte-deterministic per cell (seeds derive from
 //! cell parameters, output carries nothing time- or machine-dependent),
@@ -11,6 +13,13 @@
 //! metric as drifted only when `|new − old| > tolerance · max(1, |old|,
 //! |new|)` (relative, with an absolute floor of `tolerance` for values
 //! near zero).
+//!
+//! Two exemptions keep `--tolerance 0` honest about what determinism
+//! promises: the measured-only metrics ([`MEASURED_ONLY_METRICS`] —
+//! wall-clock and engine-side accounting) are excluded from drift
+//! classification everywhere, and cells on the `threads` backend are
+//! compared for *presence* only (their work/message counts depend on OS
+//! scheduling, so value drift there is expected, not a regression).
 //!
 //! Rendering is deterministic: cells sort by key, metrics by name, and
 //! floats print via Rust's shortest-round-trip `Display` — comparing the
@@ -27,6 +36,24 @@ use std::fmt::Write as _;
 /// [`Comparison::render_json`]; independent of the result-set schema
 /// ([`crate::output::SCHEMA_VERSION`]).
 pub const DIFF_SCHEMA_VERSION: u32 = 1;
+
+/// Metric names that are *measured* (wall-clock or engine-side
+/// accounting) rather than simulated: never part of drift
+/// classification, whatever the tolerance — two byte-identical sim runs
+/// on different machines may legitimately disagree on them, and the
+/// `sim` backend pins them to zero anyway.
+pub const MEASURED_ONLY_METRICS: &[&str] =
+    &["wall_clock_ms", "crashed_drained", "max_crashed_backlog"];
+
+/// The backend key whose cells compare by presence only (see the module
+/// docs): real-thread counts are schedule-dependent.
+const MEASURED_BACKEND: &str = "threads";
+
+/// `true` when `metric` of a cell keyed `key` is exempt from drift
+/// classification.
+fn metric_exempt(key: &CellKey, metric: &str) -> bool {
+    key.backend == MEASURED_BACKEND || MEASURED_ONLY_METRICS.contains(&metric)
+}
 
 /// An error from reading or interpreting a result-set file.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -324,6 +351,10 @@ pub struct CellKey {
     pub algo: String,
     /// Adversary key.
     pub adversary: String,
+    /// Backend key (`"sim"` / `"threads"`); `"sim"` when the record
+    /// carries no `backend` field, so pre-backend baselines keep their
+    /// identities.
+    pub backend: String,
     /// Processors.
     pub p: u64,
     /// Tasks.
@@ -340,7 +371,13 @@ impl fmt::Display for CellKey {
             f,
             "{}/{} vs {} {}x{} d={} seeds={}",
             self.experiment, self.algo, self.adversary, self.p, self.t, self.d, self.seeds
-        )
+        )?;
+        // The default backend stays invisible, so legacy (sim-only)
+        // renderings are unchanged.
+        if self.backend != "sim" {
+            write!(f, " backend={}", self.backend)?;
+        }
+        Ok(())
     }
 }
 
@@ -431,6 +468,12 @@ pub fn parse_result_set(text: &str) -> Result<BaselineSet, CompareError> {
             // unknown keys pass through untouched.
             adversary: crate::grid::AdversarySpec::parse(raw_adversary)
                 .map_or_else(|_| raw_adversary.to_string(), |spec| spec.to_string()),
+            // Optional: absent on every pre-backend record (and on
+            // legacy, axis-omitted grids today), which keys as `sim`.
+            backend: match record.get("backend") {
+                Some(value) => as_str(value, &what)?.to_string(),
+                None => "sim".to_string(),
+            },
             p: as_u64(field(record, "p", &what)?, &what)?,
             t: as_u64(field(record, "t", &what)?, &what)?,
             d: as_u64(field(record, "d", &what)?, &what)?,
@@ -618,6 +661,9 @@ pub fn compare(old: &BaselineSet, new: &BaselineSet, tolerance: f64) -> Comparis
                 let deltas: Vec<MetricDelta> = names
                     .into_iter()
                     .filter_map(|name| {
+                        if metric_exempt(key, name) {
+                            return None;
+                        }
                         let o = old_metrics.get(name).copied();
                         let n = new_metrics.get(name).copied();
                         drifted(o, n, tolerance).then(|| MetricDelta {
@@ -728,6 +774,7 @@ impl Comparison {
             "experiment",
             "algo",
             "adversary",
+            "backend",
             "shape",
             "d",
             "seeds",
@@ -744,6 +791,7 @@ impl Comparison {
                 k.experiment.clone(),
                 k.algo.clone(),
                 k.adversary.clone(),
+                k.backend.clone(),
                 format!("{}x{}", k.p, k.t),
                 k.d.to_string(),
                 k.seeds.to_string(),
@@ -806,12 +854,13 @@ impl Comparison {
             let _ = write!(
                 out,
                 "    {{\"status\": \"{}\", \"experiment\": \"{}\", \"algo\": \"{}\", \
-                 \"adversary\": \"{}\", \"p\": {}, \"t\": {}, \"d\": {}, \"seeds\": {}, \
-                 \"metrics\": [",
+                 \"adversary\": \"{}\", \"backend\": \"{}\", \"p\": {}, \"t\": {}, \"d\": {}, \
+                 \"seeds\": {}, \"metrics\": [",
                 cell.status.label(),
                 json_escape(&k.experiment),
                 json_escape(&k.algo),
                 json_escape(&k.adversary),
+                json_escape(&k.backend),
                 k.p,
                 k.t,
                 k.d,
@@ -935,12 +984,88 @@ mod tests {
             experiment: "e01".into(),
             algo: "da:3".into(),
             adversary: "stage".into(),
+            backend: "sim".into(),
             p: 4,
             t: 16,
             d: 2,
             seeds: 1,
         };
         assert_eq!(s.cells[&key]["mean_work"], 40.5);
+    }
+
+    #[test]
+    fn backend_defaults_to_sim_and_distinguishes_cells() {
+        let cell = |backend_field: &str, work: f64| {
+            format!(
+                "{{\"experiment\": \"e17\", \"algo\": \"paran1\", \"adversary\": \"unit\", \
+                 {backend_field}\"p\": 4, \"t\": 16, \"d\": 2, \"seeds\": 1, \
+                 \"metrics\": {{\"mean_work\": {work}}}}}"
+            )
+        };
+        // A pre-backend baseline (no field) matches a tagged sim record.
+        let old = set(&cell("", 64.0));
+        let new = set(&cell("\"backend\": \"sim\", ", 64.0));
+        assert!(compare(&old, &new, 0.0).is_clean());
+        // sim and threads are distinct cells, not value drift.
+        let both = set(&[
+            cell("\"backend\": \"sim\", ", 64.0),
+            cell("\"backend\": \"threads\", ", 71.0),
+        ]
+        .join(", "));
+        assert_eq!(both.cells.len(), 2);
+        let cmp = compare(&old, &both, 0.0);
+        assert_eq!(cmp.exact, 1, "the sim cell matches the untagged baseline");
+        assert_eq!(cmp.count(CellStatus::Added), 1, "the threads cell is new");
+        // The non-default backend is named in the rendered key.
+        let added = cmp.cells.iter().find(|c| c.status == CellStatus::Added);
+        assert!(added.unwrap().key.to_string().contains("backend=threads"));
+    }
+
+    #[test]
+    fn measured_only_metrics_never_drift() {
+        let cell = |extra: &str| {
+            format!(
+                "{{\"experiment\": \"e17\", \"algo\": \"paran1\", \"adversary\": \"unit\", \
+                 \"backend\": \"sim\", \"p\": 4, \"t\": 16, \"d\": 2, \"seeds\": 1, \
+                 \"metrics\": {{\"mean_work\": 64{extra}}}}}"
+            )
+        };
+        // Value changes and one-sided presence of the measured-only trio
+        // are both invisible at tolerance 0 …
+        let old = set(&cell(", \"wall_clock_ms\": 0, \"crashed_drained\": 0"));
+        let new = set(&cell(
+            ", \"wall_clock_ms\": 3.25, \"max_crashed_backlog\": 7",
+        ));
+        assert!(compare(&old, &new, 0.0).is_clean());
+        // … while the simulated metrics still gate exactly.
+        let drifted_work = set(&cell(", \"wall_clock_ms\": 1").replacen("64", "65", 1));
+        let cmp = compare(&old, &drifted_work, 0.0);
+        assert_eq!(cmp.count(CellStatus::Drift), 1);
+        assert_eq!(cmp.cells[0].deltas.len(), 1);
+        assert_eq!(cmp.cells[0].deltas[0].name, "mean_work");
+    }
+
+    #[test]
+    fn threads_cells_compare_by_presence_only() {
+        let cell = |d: u64, work: f64| {
+            format!(
+                "{{\"experiment\": \"e17\", \"algo\": \"paran1\", \"adversary\": \"unit\", \
+                 \"backend\": \"threads\", \"p\": 4, \"t\": 16, \"d\": {d}, \"seeds\": 1, \
+                 \"metrics\": {{\"mean_work\": {work}, \"wall_clock_ms\": {work}}}}}"
+            )
+        };
+        // Different work counts on the threads backend: expected
+        // scheduling noise, not drift.
+        let old = set(&[cell(2, 64.0), cell(8, 80.0)].join(", "));
+        let new = set(&[cell(2, 71.0), cell(8, 78.5)].join(", "));
+        let cmp = compare(&old, &new, 0.0);
+        assert!(cmp.is_clean(), "{}", cmp.render_text());
+        assert_eq!(cmp.exact, 2);
+        // A vanished threads cell is still a structural regression.
+        let shrunk = set(&cell(2, 71.0));
+        let cmp = compare(&old, &shrunk, 0.0);
+        assert!(!cmp.is_clean());
+        assert_eq!(cmp.count(CellStatus::Removed), 1);
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! The experiment registry: every `e01`–`e16` binary as a declarative
+//! The experiment registry: every `e01`–`e17` binary as a declarative
 //! scenario-grid spec plus a derived-metric function, all executed by the
 //! shared parallel sweep engine.
 //!
@@ -9,7 +9,7 @@
 //! (4.2 and 6.1) are *asserted*, so a violating run fails the harness
 //! rather than printing a quietly wrong table.
 
-use crate::grid::{schedules_for_algo, Cell, Grid, ALGO_NONE};
+use crate::grid::{schedules_for_algo, Backend, Cell, Grid, ALGO_NONE};
 use crate::output::{emit, parse_flags, Flags, Format, Record, ResultSet, FLAGS_USAGE};
 use crate::sweep::{default_threads, run_cells, SweepConfig};
 use doall_algorithms::Da;
@@ -227,6 +227,28 @@ fn d_e16(cell: &Cell, m: &mut BTreeMap<String, f64>) {
                 cell.p
             );
         }
+    }
+}
+
+fn d_e17(cell: &Cell, m: &mut BTreeMap<String, f64>) {
+    ratio_quadratic(cell, m);
+    // Substrate-independent floor: every task is performed at least once
+    // and a step performs at most one task, so W ≥ t on *both* backends
+    // (the threads runner counts real state-machine steps, not ticks).
+    if let Some(&w) = m.get("mean_work") {
+        assert!(
+            w >= cell.t as f64,
+            "impossible work on the {} backend: mean_work {w} < t = {}",
+            cell.effective_backend(),
+            cell.t
+        );
+    }
+    // Backend-tagged cells always carry the measured-only trio, and
+    // wall-clock is real exactly on the threads substrate.
+    let ms = m["wall_clock_ms"];
+    match cell.effective_backend() {
+        Backend::Sim => assert!(ms == 0.0, "sim cells have no wall-clock: {ms}"),
+        Backend::Threads => assert!(ms > 0.0, "threads cells must measure wall-clock"),
     }
 }
 
@@ -618,6 +640,29 @@ pub fn registry() -> Vec<Experiment> {
             },
             derive: Some(d_e16),
         },
+        Experiment {
+            id: "e17",
+            title: "Substrate check (§1.2): simulation vs real threads, same state machines",
+            setup: "Every cell runs twice — `backend=sim` (deterministic tick simulation) and `backend=threads` (doall-runtime: real OS threads, a delaying channel router for the d-adversary, step budgets for crashes) — with identical derived seeds, so the algorithm's randomness matches across substrates. wall_clock_ms / crashed_drained / max_crashed_backlog are measured on threads and pinned to 0 under sim.",
+            notes: "Reading: sim rows are byte-stable (they gate CI at tolerance 0); threads rows share the sim rows' qualitative shape — W ≥ t holds, crashes fire, work grows with d — while the absolute counts wobble with OS scheduling. That agreement is the evidence the simulator measures the algorithms, not simulator artifacts.",
+            trace: false,
+            max_ticks: DEFAULT_MAX_TICKS,
+            grids: || {
+                vec![g(
+                    &["da:3", "paran1"],
+                    &["unit", "crash:50", "straggler:25:4"],
+                    &[(8, 64)],
+                    &[2, 8],
+                    5,
+                )
+                .with_backends(&[Backend::Sim, Backend::Threads])]
+            },
+            smoke: || {
+                vec![g(&["paran1"], &["unit", "crash:50"], &[(4, 16)], &[2], 2)
+                    .with_backends(&[Backend::Sim, Backend::Threads])]
+            },
+            derive: Some(d_e17),
+        },
     ]
 }
 
@@ -756,14 +801,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_has_sixteen_unique_ids() {
+    fn registry_has_seventeen_unique_ids() {
         let reg = registry();
-        assert_eq!(reg.len(), 16);
+        assert_eq!(reg.len(), 17);
         let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
         ids.dedup();
-        assert_eq!(ids.len(), 16);
+        assert_eq!(ids.len(), 17);
         assert!(by_id("e01").is_some());
-        assert!(by_id("e16").is_some());
+        assert!(by_id("e17").is_some());
         assert!(by_id("e99").is_none());
     }
 

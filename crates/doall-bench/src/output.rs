@@ -77,13 +77,22 @@ impl ResultSet {
         let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(&self.mode));
         out.push_str("  \"records\": [\n");
         for (i, r) in self.records.iter().enumerate() {
+            // Backend-tagged cells (grids with an explicit `backends=`
+            // axis) carry a `backend` field; legacy sim-only records
+            // render exactly as before the axis existed, so committed
+            // baselines stay byte-identical.
+            let backend = match r.cell.backend {
+                Some(b) => format!("\"backend\": \"{b}\", "),
+                None => String::new(),
+            };
             let _ = write!(
                 out,
                 "    {{\"experiment\": \"{}\", \"algo\": \"{}\", \"adversary\": \"{}\", \
-                 \"p\": {}, \"t\": {}, \"d\": {}, \"seeds\": {}, \"metrics\": {{",
+                 {}\"p\": {}, \"t\": {}, \"d\": {}, \"seeds\": {}, \"metrics\": {{",
                 json_escape(&r.experiment),
                 json_escape(&r.cell.algo),
                 json_escape(&r.cell.adversary.to_string()),
+                backend,
                 r.cell.p,
                 r.cell.t,
                 r.cell.d,
@@ -110,17 +119,30 @@ impl ResultSet {
     }
 
     /// Renders the set as long-format CSV: one row per (cell, metric).
+    /// Backend-tagged result sets gain a `backend` column after
+    /// `adversary`; legacy sim-only sets keep the pre-axis header.
     #[must_use]
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("experiment,algo,adversary,p,t,d,seeds,metric,value\n");
+        let tagged = self.records.iter().any(|r| r.cell.backend.is_some());
+        let mut out = String::from(if tagged {
+            "experiment,algo,adversary,backend,p,t,d,seeds,metric,value\n"
+        } else {
+            "experiment,algo,adversary,p,t,d,seeds,metric,value\n"
+        });
         for r in &self.records {
+            let backend = if tagged {
+                format!("{},", r.cell.effective_backend())
+            } else {
+                String::new()
+            };
             for (name, value) in &r.metrics {
                 let _ = writeln!(
                     out,
-                    "{},{},{},{},{},{},{},{},{}",
+                    "{},{},{},{}{},{},{},{},{},{}",
                     r.experiment,
                     r.cell.algo,
                     r.cell.adversary,
+                    backend,
                     r.cell.p,
                     r.cell.t,
                     r.cell.d,
@@ -144,6 +166,7 @@ impl ResultSet {
                 j += 1;
             }
             let group = &self.records[i..j];
+            let tagged = group.iter().any(|r| r.cell.backend.is_some());
             let metric_names: BTreeSet<&String> =
                 group.iter().flat_map(|r| r.metrics.keys()).collect();
             let mut headers = vec![
@@ -153,6 +176,9 @@ impl ResultSet {
                 "t".to_string(),
                 "d".to_string(),
             ];
+            if tagged {
+                headers.insert(2, "backend".to_string());
+            }
             headers.extend(metric_names.iter().map(|s| (*s).clone()));
             let mut table = Table::new(headers);
             for r in group {
@@ -163,6 +189,9 @@ impl ResultSet {
                     r.cell.t.to_string(),
                     r.cell.d.to_string(),
                 ];
+                if tagged {
+                    row.insert(2, r.cell.effective_backend().to_string());
+                }
                 for name in &metric_names {
                     row.push(match r.metrics.get(*name) {
                         Some(v) => crate::fmt(*v),
@@ -362,6 +391,7 @@ mod tests {
                 d,
                 seeds: 2,
                 cell_seed: 7,
+                backend: None,
             },
             metrics,
         }
@@ -398,6 +428,40 @@ mod tests {
         let json = set.to_json();
         assert!(json.contains("\\\"")); // escaped quote
         assert!(json.contains("\"bad\": null"));
+    }
+
+    #[test]
+    fn backend_tagged_records_render_the_backend_everywhere() {
+        use crate::grid::Backend;
+        let mut sim = record("e17", "da:3", 2, 40.0);
+        sim.cell.backend = Some(Backend::Sim);
+        let mut threads = record("e17", "da:3", 2, 44.0);
+        threads.cell.backend = Some(Backend::Threads);
+        let set = ResultSet {
+            mode: "custom".to_string(),
+            records: vec![sim, threads],
+        };
+        let json = set.to_json();
+        assert!(json.contains("\"backend\": \"sim\""));
+        assert!(json.contains("\"backend\": \"threads\""));
+        let csv = set.to_csv();
+        assert!(csv.starts_with("experiment,algo,adversary,backend,p,t,d,seeds,metric,value\n"));
+        assert!(csv.contains("e17,da:3,stage,threads,4,16,2,2,mean_work,44"));
+        set.print_tables(); // smoke: backend column must not break width math
+    }
+
+    #[test]
+    fn untagged_records_render_the_legacy_schema() {
+        // No `backends=` axis ⇒ not a byte of output changes: the exact
+        // guarantee committed baselines rely on.
+        let set = ResultSet {
+            mode: "smoke".to_string(),
+            records: vec![record("e01", "soloall", 1, 64.0)],
+        };
+        assert!(!set.to_json().contains("backend"));
+        assert!(set
+            .to_csv()
+            .starts_with("experiment,algo,adversary,p,t,d,seeds,metric,value\n"));
     }
 
     #[test]

@@ -16,14 +16,18 @@
 //!
 //! [`RunReport`]: doall_core::RunReport
 
-use crate::grid::{build_adversary, build_algorithm, AdversarySpec, Cell, GridError, ALGO_NONE};
+use crate::grid::{
+    build_adversary, build_algorithm, AdversarySpec, Backend, Cell, GridError, ALGO_NONE,
+};
 use doall_core::Instance;
+use doall_runtime::{Runtime, RuntimeConfig};
 use doall_sim::analysis::{execution_profile, summarize, BatchSummary, ProfilePartial};
 use doall_sim::{Simulation, Trace, DEFAULT_MAX_TICKS};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Ceiling on trace capacity when an experiment asks for execution
 /// profiles. The per-run capacity is sized from the cell's shape and the
@@ -31,6 +35,22 @@ use std::sync::Mutex;
 /// buffer itself is recycled across a worker's replicates rather than
 /// reallocated per run.
 const TRACE_CAPACITY: usize = 4_000_000;
+
+/// Pace of a full-speed processor on the `threads` backend. Real threads
+/// need *some* pacing so runs genuinely interleave (a free-running worker
+/// can sweep every task before its peers are even scheduled), but the
+/// quantum is small enough that a smoke cell completes in milliseconds.
+const THREADS_STEP_INTERVAL: Duration = Duration::from_micros(20);
+
+/// Wall-clock value of one delay unit `d` on the `threads` backend: a
+/// cell's `d` becomes a `d × quantum` cap on the router's random message
+/// delays — the same knob the simulator's d-adversary turns, expressed
+/// in microseconds instead of ticks.
+const THREADS_DELAY_QUANTUM: Duration = Duration::from_micros(20);
+
+/// Wall-clock budget per `threads` replicate — the analogue of the tick
+/// cutoff. Generous: hitting it is an error, not a data point.
+const THREADS_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Trace capacity for a `(p, max_ticks)` run: at most one step event and
 /// one send event per processor per tick, plus the completion event,
@@ -100,6 +120,13 @@ pub enum SweepError {
     },
     /// The instance shape was invalid.
     Instance(String),
+    /// Trace mode was requested for a cell on the `threads` backend —
+    /// execution traces are a simulator feature (real threads have no
+    /// tick-accurate event stream to record).
+    TraceThreads {
+        /// The offending cell, rendered for the error message.
+        cell: String,
+    },
 }
 
 impl fmt::Display for SweepError {
@@ -116,6 +143,11 @@ impl fmt::Display for SweepError {
                  {replicate}, seed {seed}); raise --max-ticks"
             ),
             SweepError::Instance(msg) => write!(f, "bad instance: {msg}"),
+            SweepError::TraceThreads { cell } => write!(
+                f,
+                "execution traces are sim-only, but cell {cell} runs on the threads \
+                 backend; drop --trace or the threads backend"
+            ),
         }
     }
 }
@@ -152,6 +184,20 @@ pub struct CellMeasurement {
     /// adversaries only) — the actual count after rounding and the
     /// `p − 1` full-speed cap, mirroring `crash_count`.
     pub straggler_count: Option<f64>,
+    /// Mean wall-clock per replicate, in milliseconds. Backend-tagged
+    /// cells only: measured on `threads`, always `0` under `sim` (the
+    /// simulator's time is ticks, not wall-clock). `None` on legacy
+    /// (axis-omitted) cells, so their schema is untouched.
+    pub wall_clock_ms: Option<f64>,
+    /// Mean messages drained-and-dropped from crashed processors' inboxes
+    /// per replicate ([`doall_runtime::RuntimeStats::crashed_drained`]).
+    /// Backend-tagged cells only; always `0` under `sim`.
+    pub crashed_drained: Option<f64>,
+    /// Largest single crashed-inbox drain batch observed across the
+    /// cell's replicates
+    /// ([`doall_runtime::RuntimeStats::max_crashed_backlog`]).
+    /// Backend-tagged cells only; always `0` under `sim`.
+    pub max_crashed_backlog: Option<f64>,
 }
 
 impl CellMeasurement {
@@ -188,6 +234,15 @@ impl CellMeasurement {
         if let Some(count) = self.straggler_count {
             metrics.insert("straggler_count".to_string(), count);
         }
+        if let Some(ms) = self.wall_clock_ms {
+            metrics.insert("wall_clock_ms".to_string(), ms);
+        }
+        if let Some(drained) = self.crashed_drained {
+            metrics.insert("crashed_drained".to_string(), drained);
+        }
+        if let Some(backlog) = self.max_crashed_backlog {
+            metrics.insert("max_crashed_backlog".to_string(), backlog);
+        }
         metrics
     }
 }
@@ -216,11 +271,38 @@ struct Shard {
     len: u64,
 }
 
-/// What a shard produced: its chunk's reports (in replicate order) and,
-/// in trace mode, the mergeable profile partial.
+/// What a shard produced: its chunk's reports (in replicate order), in
+/// trace mode the mergeable profile partial, and on the `threads`
+/// backend the per-replicate measured-side probes.
 struct ShardOutput {
     reports: Vec<doall_core::RunReport>,
     profile: Option<ProfilePartial>,
+    probes: Vec<ThreadsProbe>,
+}
+
+/// The measured-side numbers one `threads` replicate carries back out of
+/// its shard — everything the simulator cannot produce (wall-clock,
+/// engine accounting) plus the observed crash firings.
+#[derive(Debug, Clone, Copy)]
+struct ThreadsProbe {
+    /// Elapsed wall-clock of the completed run, milliseconds.
+    wall_clock_ms: f64,
+    /// Messages drained-and-dropped from crashed inboxes.
+    crashed_drained: u64,
+    /// Largest single crashed-inbox drain batch.
+    max_crashed_backlog: u64,
+    /// Scheduled crashes whose step budget actually fired (a run can
+    /// complete before a late budget is reached).
+    crashes_fired: u64,
+}
+
+/// The `algo vs adversary p= t= d=` rendering error messages use for a
+/// cell.
+fn cell_label(cell: &Cell) -> String {
+    format!(
+        "{} vs {} p={} t={} d={}",
+        cell.algo, cell.adversary, cell.p, cell.t, cell.d
+    )
 }
 
 /// The shard size the engine actually uses for a sweep of `cell_count`
@@ -308,6 +390,11 @@ pub fn run_cells_with_stats(
             Instance::new(cell.p, cell.t).map_err(|e| SweepError::Instance(e.to_string()))?;
         if cell.algo == "padet-affine" {
             build_algorithm(&cell.algo, instance, cell.run_seed(0))?;
+        }
+        if cfg.trace && cell.algo != ALGO_NONE && cell.effective_backend() == Backend::Threads {
+            return Err(SweepError::TraceThreads {
+                cell: cell_label(cell),
+            });
         }
     }
 
@@ -401,6 +488,9 @@ fn run_shard(
     cfg: &SweepConfig,
     trace_buf: &mut Option<Trace>,
 ) -> Result<ShardOutput, SweepError> {
+    if cell.effective_backend() == Backend::Threads {
+        return run_threads_shard(cell, shard, cfg);
+    }
     let instance =
         Instance::new(cell.p, cell.t).map_err(|e| SweepError::Instance(e.to_string()))?;
     let mut reports = Vec::with_capacity(shard.len as usize);
@@ -454,15 +544,102 @@ fn run_shard(
     if let Some(pos) = reports.iter().position(|r| !r.completed) {
         let replicate = shard.start + pos as u64;
         return Err(SweepError::Incomplete {
-            cell: format!(
-                "{} vs {} p={} t={} d={}",
-                cell.algo, cell.adversary, cell.p, cell.t, cell.d
-            ),
+            cell: cell_label(cell),
             replicate,
             seed: cell.run_seed(replicate),
         });
     }
-    Ok(ShardOutput { reports, profile })
+    Ok(ShardOutput {
+        reports,
+        profile,
+        probes: Vec::new(),
+    })
+}
+
+/// Runs one shard of a `threads`-backend cell: each replicate executes
+/// the *same* algorithm state machines the simulator drives (same
+/// derived seed, so the algorithm's randomness is identical across
+/// backends) on real OS threads via [`doall_runtime::Runtime`]. The
+/// cell's adversary maps onto the runtime's wall-clock knobs:
+///
+/// - `d` → random message delays capped at `d ×`
+///   [`THREADS_DELAY_QUANTUM`] (every delay-only adversary measures as
+///   this uniform-delay analogue);
+/// - `crash:<pct>[@stagger]` → the simulator's own deterministic
+///   [`crate::grid::crash_plan`] ticks, reused as per-processor step
+///   budgets;
+/// - `straggler:<pct>:<slowdown>` → a `slowdown ×` longer step pace for
+///   the flagged processors.
+fn run_threads_shard(
+    cell: &Cell,
+    shard: &Shard,
+    cfg: &SweepConfig,
+) -> Result<ShardOutput, SweepError> {
+    let instance =
+        Instance::new(cell.p, cell.t).map_err(|e| SweepError::Instance(e.to_string()))?;
+    let crash_after_steps: Vec<Option<u64>> = match cell.adversary {
+        AdversarySpec::Crash { pct, stagger } => {
+            crate::grid::crash_plan(pct, stagger, cell.p, cell.t, cfg.max_ticks)
+        }
+        _ => Vec::new(),
+    };
+    let pace_overrides: Vec<Option<Duration>> = match cell.adversary {
+        AdversarySpec::Straggler { pct, slowdown } => crate::grid::straggler_flags(pct, cell.p)
+            .iter()
+            .map(|&slow| {
+                slow.then(|| {
+                    THREADS_STEP_INTERVAL
+                        .saturating_mul(u32::try_from(slowdown).unwrap_or(u32::MAX))
+                })
+            })
+            .collect(),
+        _ => vec![None; cell.p],
+    };
+    let mut reports = Vec::with_capacity(shard.len as usize);
+    let mut probes = Vec::with_capacity(shard.len as usize);
+    for k in shard.start..shard.start + shard.len {
+        let seed = cell.run_seed(k);
+        let algo = build_algorithm(&cell.algo, instance, seed).expect("validated above");
+        let config = RuntimeConfig {
+            max_delay: THREADS_DELAY_QUANTUM
+                .saturating_mul(u32::try_from(cell.d).unwrap_or(u32::MAX)),
+            seed,
+            timeout: THREADS_TIMEOUT,
+            crash_after_steps: crash_after_steps.clone(),
+            step_interval: THREADS_STEP_INTERVAL,
+        };
+        let outcome = Runtime::builder(config)
+            .pace_overrides(pace_overrides.clone())
+            .run(instance, algo.spawn(instance))
+            .expect("cell-derived runtime setup is valid");
+        if !outcome.report.completed {
+            return Err(SweepError::Incomplete {
+                cell: cell_label(cell),
+                replicate: k,
+                seed,
+            });
+        }
+        let sigma_us = outcome.report.sigma.expect("completed runs carry sigma");
+        let crashes_fired = crash_after_steps
+            .iter()
+            .enumerate()
+            .filter(|&(pid, budget)| {
+                budget.is_some_and(|b| outcome.report.work_per_processor[pid] >= b)
+            })
+            .count() as u64;
+        probes.push(ThreadsProbe {
+            wall_clock_ms: sigma_us as f64 / 1_000.0,
+            crashed_drained: outcome.stats.crashed_drained,
+            max_crashed_backlog: outcome.stats.max_crashed_backlog,
+            crashes_fired,
+        });
+        reports.push(outcome.report);
+    }
+    Ok(ShardOutput {
+        reports,
+        profile: None,
+        probes,
+    })
 }
 
 /// Merges a cell's shard outputs back, in replicate order, into the
@@ -477,21 +654,30 @@ fn merge_cell(cell: &Cell, cfg: &SweepConfig, shards: Vec<Option<ShardOutput>>) 
             crash_count: None,
             mean_crashes_fired: None,
             straggler_count: None,
+            wall_clock_ms: None,
+            crashed_drained: None,
+            max_crashed_backlog: None,
         };
     }
     let mut reports = Vec::with_capacity(cell.seeds as usize);
+    let mut probes = Vec::new();
     let mut profile = cfg.trace.then(ProfilePartial::default);
     // Slots are indexed by shard position within the cell, so pushing in
     // slot order concatenates the chunks back into replicate order.
     for output in shards {
         let output = output.expect("error-free sweeps fill every slot");
         reports.extend(output.reports);
+        probes.extend(output.probes);
         if let (Some(whole), Some(part)) = (profile.as_mut(), output.profile.as_ref()) {
             whole.merge(part);
         }
     }
     assert_eq!(reports.len(), cell.seeds as usize, "all replicates merged");
-    let (crash_count, mean_crashes_fired) = crash_stats(cell, cfg, &reports);
+    let (crash_count, mean_crashes_fired) = if cell.effective_backend() == Backend::Threads {
+        threads_crash_stats(cell, cfg, &probes)
+    } else {
+        crash_stats(cell, cfg, &reports)
+    };
     let straggler_count = match cell.adversary {
         AdversarySpec::Straggler { pct, .. } => Some(
             crate::grid::straggler_flags(pct, cell.p)
@@ -501,6 +687,34 @@ fn merge_cell(cell: &Cell, cfg: &SweepConfig, shards: Vec<Option<ShardOutput>>) 
         ),
         _ => None,
     };
+    // The measured-only trio exists exactly on backend-tagged cells —
+    // zeros under `sim` keep the schema identical across a tagged grid's
+    // backends, while legacy (axis-omitted) cells stay byte-identical to
+    // their pre-backend output.
+    let (wall_clock_ms, crashed_drained, max_crashed_backlog) = match cell.backend {
+        None => (None, None, None),
+        Some(Backend::Sim) => (Some(0.0), Some(0.0), Some(0.0)),
+        Some(Backend::Threads) => {
+            let n = probes.len().max(1) as f64;
+            (
+                Some(probes.iter().map(|pr| pr.wall_clock_ms).sum::<f64>() / n),
+                Some(
+                    probes
+                        .iter()
+                        .map(|pr| pr.crashed_drained as f64)
+                        .sum::<f64>()
+                        / n,
+                ),
+                Some(
+                    probes
+                        .iter()
+                        .map(|pr| pr.max_crashed_backlog)
+                        .max()
+                        .unwrap_or(0) as f64,
+                ),
+            )
+        }
+    };
     CellMeasurement {
         cell: cell.clone(),
         summary: Some(summarize(&reports)),
@@ -509,6 +723,9 @@ fn merge_cell(cell: &Cell, cfg: &SweepConfig, shards: Vec<Option<ShardOutput>>) 
         crash_count,
         mean_crashes_fired,
         straggler_count,
+        wall_clock_ms,
+        crashed_drained,
+        max_crashed_backlog,
     }
 }
 
@@ -553,6 +770,29 @@ fn crash_stats(
     (
         Some(scheduled as f64),
         Some(fired_total as f64 / reports.len() as f64),
+    )
+}
+
+/// [`crash_stats`] for `threads`-backend cells: the scheduled count is
+/// the same deterministic [`crate::grid::crash_plan`], but *fired* is
+/// what each replicate actually observed (a crashed worker stops exactly
+/// at its step budget, so firing is measured, not recomputed). No
+/// all-replicates-fired assertion here — on real threads a fast run can
+/// legitimately complete before a late budget is reached.
+fn threads_crash_stats(
+    cell: &Cell,
+    cfg: &SweepConfig,
+    probes: &[ThreadsProbe],
+) -> (Option<f64>, Option<f64>) {
+    let AdversarySpec::Crash { pct, stagger } = cell.adversary else {
+        return (None, None);
+    };
+    let plan = crate::grid::crash_plan(pct, stagger, cell.p, cell.t, cfg.max_ticks);
+    let scheduled = plan.iter().flatten().count();
+    let fired_total: u64 = probes.iter().map(|pr| pr.crashes_fired).sum();
+    (
+        Some(scheduled as f64),
+        Some(fired_total as f64 / probes.len().max(1) as f64),
     )
 }
 

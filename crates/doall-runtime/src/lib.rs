@@ -14,20 +14,57 @@
 //! runner reports the same [`RunReport`] shape with best-effort counts, and
 //! its `completed` flag is checked against ground truth collected from the
 //! actual task executions.
+//!
+//! # Module map
+//!
+//! - `scheduler` *(private)* — the per-processor worker loop and run
+//!   orchestration: stepping state machines, executing task bodies,
+//!   joining counts into a [`RunReport`].
+//! - [`transport`] — message delivery between workers. Today an
+//!   in-process channel router ([`transport::ChannelTransport`]); the
+//!   narrow surface is the seam for a future socket transport.
+//! - [`fault`] — the crash-failure model: validated step budgets
+//!   ([`fault::CrashSchedule`]), the `crash:<pct>`-style fraction bridge,
+//!   and engine-side accounting ([`RuntimeStats`]).
+//!
+//! The entry point is the builder-style [`Runtime`] facade:
+//!
+//! ```
+//! use doall_runtime::{Runtime, RuntimeConfig};
+//! use doall_core::Instance;
+//! # use doall_core::{DoAllProcess, Message, ProcId, StepOutcome, TaskId};
+//! # #[derive(Clone)]
+//! # struct Solo(usize, usize);
+//! # impl DoAllProcess for Solo {
+//! #     fn pid(&self) -> ProcId { ProcId::new(0) }
+//! #     fn step(&mut self, _inbox: &[Message]) -> StepOutcome {
+//! #         if self.0 < self.1 { self.0 += 1; StepOutcome::perform(TaskId::new(self.0 - 1)) }
+//! #         else { StepOutcome::internal() }
+//! #     }
+//! #     fn knows_all_done(&self) -> bool { self.0 >= self.1 }
+//! #     fn clone_box(&self) -> Box<dyn DoAllProcess> { Box::new(self.clone()) }
+//! # }
+//! let instance = Instance::new(1, 8).unwrap();
+//! let procs = vec![Box::new(Solo(0, 8)) as Box<dyn DoAllProcess>];
+//! let outcome = Runtime::builder(RuntimeConfig::default())
+//!     .run(instance, procs)
+//!     .expect("valid setup");
+//! assert!(outcome.report.completed);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use doall_core::{BitSet, DoAllProcess, Instance, Message, ProcId, RunReport, TaskId};
-use parking_lot::Mutex;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicBool, Ordering};
+pub mod fault;
+mod scheduler;
+pub mod transport;
+
+pub use fault::{CrashSchedule, RuntimeError, RuntimeStats};
+
+use doall_core::{DoAllProcess, Instance, RunReport, TaskId};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a threaded run.
 #[derive(Debug, Clone)]
@@ -65,90 +102,221 @@ impl Default for RuntimeConfig {
     }
 }
 
-/// Routed envelope: a broadcast fanned out into point-to-point messages.
-struct Outgoing {
-    to: usize,
-    msg: Message,
-}
-
-/// Delayed message held by the router.
-struct Held {
-    due: Instant,
-    to: usize,
-    msg: Message,
-}
-
-impl PartialEq for Held {
-    fn eq(&self, other: &Self) -> bool {
-        self.due == other.due
-    }
-}
-impl Eq for Held {}
-impl PartialOrd for Held {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Held {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        // Min-heap on due time.
-        other.due.cmp(&self.due)
-    }
-}
-
 /// The body of an idempotent task: executed by whichever worker thread
 /// performs it (possibly several times, possibly concurrently — the
 /// Do-All contract). Must be idempotent and thread-safe.
 pub type TaskBody = dyn Fn(TaskId) + Send + Sync;
 
-/// Engine-side accounting of a threaded run — never part of the
-/// [`RunReport`] (which must describe the algorithm, not the harness).
-/// Exposed for tests and diagnostics, mirroring the sweep engine's
-/// `run_cells_with_stats` pattern.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct RuntimeStats {
-    /// Messages drained (and dropped) by crashed workers. A crashed
-    /// processor is an infinitely delayed one, so its inbox keeps
-    /// receiving; draining it bounds the channel's memory instead of
-    /// letting the router grow it for the rest of the run.
-    pub crashed_drained: u64,
-    /// Largest batch a crashed worker drained in one wake — an upper
-    /// bound on how big its inbox ever got after the crash.
-    pub max_crashed_backlog: u64,
+/// What a threaded run produced: the algorithm-level [`RunReport`] plus
+/// the harness's own accounting ([`RuntimeStats`]).
+#[derive(Debug)]
+pub struct RunOutcome {
+    /// Work / message counts, completion, and elapsed time (µs in
+    /// `sigma`) — the same shape the simulator reports.
+    pub report: RunReport,
+    /// Engine-side accounting (crashed-inbox draining), never part of
+    /// the report.
+    pub stats: RuntimeStats,
+}
+
+/// A fully validated threaded run, ready to execute. Build one with
+/// [`Runtime::builder`]; every invalid configuration is rejected with a
+/// [`RuntimeError`] before any thread is spawned.
+pub struct Runtime {
+    instance: Instance,
+    procs: Vec<Box<dyn DoAllProcess>>,
+    config: RuntimeConfig,
+    body: Arc<TaskBody>,
+    schedule: CrashSchedule,
+    pace_overrides: Vec<Option<Duration>>,
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("instance", &self.instance)
+            .field("config", &self.config)
+            .field("schedule", &self.schedule)
+            .field("pace_overrides", &self.pace_overrides)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Runtime {
+    /// Starts building a run from `config`. Chain [`RuntimeBuilder`]
+    /// methods, then call [`RuntimeBuilder::run`] (or
+    /// [`RuntimeBuilder::build`] + [`Runtime::run`]).
+    #[must_use]
+    pub fn builder(config: RuntimeConfig) -> RuntimeBuilder {
+        RuntimeBuilder {
+            config,
+            body: Arc::new(|_| {}),
+            crash_fraction: None,
+            pace_overrides: Vec::new(),
+        }
+    }
+
+    /// Executes the validated run to completion (or timeout).
+    #[must_use]
+    pub fn run(self) -> RunOutcome {
+        let (report, stats) = scheduler::execute(
+            self.instance,
+            self.procs,
+            &self.config,
+            &self.body,
+            &self.schedule,
+            &self.pace_overrides,
+        );
+        RunOutcome { report, stats }
+    }
+}
+
+/// Builder for [`Runtime`]: optional task body, crash fraction, and
+/// per-processor pacing on top of a [`RuntimeConfig`].
+#[derive(Clone)]
+pub struct RuntimeBuilder {
+    config: RuntimeConfig,
+    body: Arc<TaskBody>,
+    crash_fraction: Option<f64>,
+    pace_overrides: Vec<Option<Duration>>,
+}
+
+impl std::fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("config", &self.config)
+            .field("crash_fraction", &self.crash_fraction)
+            .field("pace_overrides", &self.pace_overrides)
+            .finish_non_exhaustive()
+    }
+}
+
+impl RuntimeBuilder {
+    /// Sets the task body executed each time a state machine performs a
+    /// task — the actual (idempotent) work unit, the paper's abstraction
+    /// made concrete. Defaults to a no-op (bookkeeping only).
+    #[must_use]
+    pub fn tasks(mut self, body: Arc<TaskBody>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// Crashes `round(fraction · p)` processors (capped at `p − 1`) with
+    /// staggered step budgets — the wall-clock analogue of the sweep
+    /// grid's `crash:<pct>` axis. Mutually exclusive with an explicit
+    /// `crash_after_steps` list in the config; the fraction is validated
+    /// at [`Self::build`] time, not mid-run.
+    #[must_use]
+    pub fn crash_fraction(mut self, fraction: f64) -> Self {
+        self.crash_fraction = Some(fraction);
+        self
+    }
+
+    /// Per-processor overrides of the config's `step_interval` (`None`
+    /// entries keep the default). This is how stragglers run at real
+    /// concurrency: a slowed processor gets a proportionally longer pace.
+    #[must_use]
+    pub fn pace_overrides(mut self, overrides: Vec<Option<Duration>>) -> Self {
+        self.pace_overrides = overrides;
+        self
+    }
+
+    /// Validates the whole setup against `instance` and `procs`.
+    ///
+    /// # Errors
+    ///
+    /// - [`RuntimeError::NoProcessors`] if `procs` is empty (`p = 0`);
+    /// - [`RuntimeError::ProcessCount`] if `procs.len()` ≠ `p`;
+    /// - [`RuntimeError::CrashFraction`] if a crash fraction is NaN or
+    ///   outside `[0, 1]`;
+    /// - [`RuntimeError::CrashConflict`] if both a fraction and explicit
+    ///   budgets were given;
+    /// - [`RuntimeError::CrashBudgetLength`] / [`RuntimeError::AllCrashed`]
+    ///   for an ill-formed explicit budget list;
+    /// - [`RuntimeError::PaceLength`] if a nonempty pace-override list
+    ///   does not cover every processor.
+    pub fn build(
+        self,
+        instance: Instance,
+        procs: Vec<Box<dyn DoAllProcess>>,
+    ) -> Result<Runtime, RuntimeError> {
+        let p = instance.processors();
+        if procs.is_empty() {
+            return Err(RuntimeError::NoProcessors);
+        }
+        if procs.len() != p {
+            return Err(RuntimeError::ProcessCount {
+                expected: p,
+                got: procs.len(),
+            });
+        }
+        let schedule = match self.crash_fraction {
+            Some(fraction) => {
+                if !self.config.crash_after_steps.is_empty() {
+                    return Err(RuntimeError::CrashConflict);
+                }
+                CrashSchedule::from_fraction(p, fraction)?
+            }
+            None => CrashSchedule::from_budgets(self.config.crash_after_steps.clone(), p)?,
+        };
+        if !self.pace_overrides.is_empty() && self.pace_overrides.len() != p {
+            return Err(RuntimeError::PaceLength {
+                expected: p,
+                got: self.pace_overrides.len(),
+            });
+        }
+        Ok(Runtime {
+            instance,
+            procs,
+            config: self.config,
+            body: self.body,
+            schedule,
+            pace_overrides: self.pace_overrides,
+        })
+    }
+
+    /// [`Self::build`] + [`Runtime::run`] in one call.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Self::build`].
+    pub fn run(
+        self,
+        instance: Instance,
+        procs: Vec<Box<dyn DoAllProcess>>,
+    ) -> Result<RunOutcome, RuntimeError> {
+        Ok(self.build(instance, procs)?.run())
+    }
 }
 
 /// Runs `procs` on OS threads with a no-op task body — bookkeeping only.
-/// See [`run_threaded_with_tasks`] to execute real work per task.
 ///
 /// # Panics
 ///
-/// Panics under the same conditions as [`run_threaded_with_tasks`].
+/// Panics on any configuration the [`Runtime`] builder rejects.
+#[deprecated(since = "0.1.0", note = "use `Runtime::builder(config).run(..)`")]
 #[must_use]
 pub fn run_threaded(
     instance: Instance,
     procs: Vec<Box<dyn DoAllProcess>>,
     config: &RuntimeConfig,
 ) -> RunReport {
-    run_threaded_with_tasks(instance, procs, config, Arc::new(|_| {}))
+    Runtime::builder(config.clone())
+        .run(instance, procs)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .report
 }
 
-/// Runs `procs` (one per processor of `instance`) on OS threads until some
-/// processor knows all tasks are done, a crash budget stops everyone, or
-/// the timeout fires. Each time a state machine performs task `z`, the
-/// worker thread first executes `body(z)` — the actual (idempotent) work
-/// unit, the paper's abstraction made concrete.
-///
-/// Returns a [`RunReport`] whose `work` / `messages` are the actual step
-/// and point-to-point message counts (nondeterministic across runs —
-/// schedule-dependent, as real executions are), whose `sigma` is the
-/// elapsed wall-clock in microseconds at completion, and whose
-/// `completed` is checked against the ground truth of performed tasks.
+/// Runs `procs` on OS threads, executing `body(task)` for every task a
+/// state machine performs.
 ///
 /// # Panics
 ///
-/// Panics if `procs.len() != instance.processors()`, or if
-/// `crash_after_steps` (when nonempty) has the wrong length or crashes
-/// everyone.
+/// Panics on any configuration the [`Runtime`] builder rejects.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Runtime::builder(config).tasks(body).run(..)`"
+)]
 #[must_use]
 pub fn run_threaded_with_tasks(
     instance: Instance,
@@ -156,16 +324,23 @@ pub fn run_threaded_with_tasks(
     config: &RuntimeConfig,
     body: Arc<TaskBody>,
 ) -> RunReport {
-    run_threaded_with_stats(instance, procs, config, body).0
+    Runtime::builder(config.clone())
+        .tasks(body)
+        .run(instance, procs)
+        .unwrap_or_else(|e| panic!("{e}"))
+        .report
 }
 
-/// [`run_threaded_with_tasks`] plus the harness's own accounting
-/// ([`RuntimeStats`]) — the probe the crashed-inbox regression test uses
-/// to assert that a crashed processor's channel stays bounded.
+/// Like `run_threaded_with_tasks`, also returning the harness's own
+/// accounting ([`RuntimeStats`]).
 ///
 /// # Panics
 ///
-/// Panics under the same conditions as [`run_threaded_with_tasks`].
+/// Panics on any configuration the [`Runtime`] builder rejects.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Runtime::builder(config).tasks(body).run(..)` and read `RunOutcome::stats`"
+)]
 #[must_use]
 pub fn run_threaded_with_stats(
     instance: Instance,
@@ -173,198 +348,18 @@ pub fn run_threaded_with_stats(
     config: &RuntimeConfig,
     body: Arc<TaskBody>,
 ) -> (RunReport, RuntimeStats) {
-    let p = instance.processors();
-    let t = instance.tasks();
-    assert_eq!(
-        procs.len(),
-        p,
-        "need exactly one state machine per processor"
-    );
-    if !config.crash_after_steps.is_empty() {
-        assert_eq!(
-            config.crash_after_steps.len(),
-            p,
-            "crash budget list must cover every processor"
-        );
-        assert!(
-            config.crash_after_steps.iter().any(Option::is_none),
-            "at least one processor must survive"
-        );
-    }
-
-    let done = Arc::new(AtomicBool::new(false));
-    let deadline = Instant::now() + config.timeout;
-    let start = Instant::now();
-    let ground_truth = Arc::new(Mutex::new(BitSet::new(t)));
-
-    // Per-processor delivery channels and the shared router channel.
-    let (to_router, router_rx) = unbounded::<Outgoing>();
-    let mut inbox_tx: Vec<Sender<Message>> = Vec::with_capacity(p);
-    let mut inbox_rx: Vec<Option<Receiver<Message>>> = Vec::with_capacity(p);
-    for _ in 0..p {
-        let (tx, rx) = unbounded::<Message>();
-        inbox_tx.push(tx);
-        inbox_rx.push(Some(rx));
-    }
-
-    // Router: holds messages for their injected delay, then forwards.
-    let router = {
-        let done = Arc::clone(&done);
-        let inbox_tx = inbox_tx.clone();
-        let max_delay = config.max_delay;
-        let seed = config.seed;
-        std::thread::spawn(move || {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut held: BinaryHeap<Held> = BinaryHeap::new();
-            loop {
-                // Forward everything due.
-                let now = Instant::now();
-                while held.peek().is_some_and(|h| h.due <= now) {
-                    let h = held.pop().expect("peeked");
-                    let _ = inbox_tx[h.to].send(h.msg);
-                }
-                if done.load(Ordering::Acquire) {
-                    // Drain: deliver the backlog immediately so laggards
-                    // can still learn completion, then exit.
-                    while let Some(h) = held.pop() {
-                        let _ = inbox_tx[h.to].send(h.msg);
-                    }
-                    while let Ok(out) = router_rx.try_recv() {
-                        let _ = inbox_tx[out.to].send(out.msg);
-                    }
-                    break;
-                }
-                let wait = held
-                    .peek()
-                    .map_or(Duration::from_millis(1), |h| {
-                        h.due.saturating_duration_since(Instant::now())
-                    })
-                    .min(Duration::from_millis(1));
-                match router_rx.recv_timeout(wait) {
-                    Ok(out) => {
-                        let delay = if max_delay.is_zero() {
-                            Duration::ZERO
-                        } else {
-                            max_delay.mul_f64(rng.random::<f64>())
-                        };
-                        held.push(Held {
-                            due: Instant::now() + delay,
-                            to: out.to,
-                            msg: out.msg,
-                        });
-                    }
-                    Err(RecvTimeoutError::Timeout) => {}
-                    Err(RecvTimeoutError::Disconnected) => break,
-                }
-            }
-        })
-    };
-
-    // Worker threads.
-    let mut workers = Vec::with_capacity(p);
-    for (pid, mut proc_) in procs.into_iter().enumerate() {
-        let rx = inbox_rx[pid].take().expect("one receiver per processor");
-        let done = Arc::clone(&done);
-        let truth = Arc::clone(&ground_truth);
-        let to_router = to_router.clone();
-        let budget = config.crash_after_steps.get(pid).copied().unwrap_or(None);
-        let pace = config.step_interval;
-        let body = Arc::clone(&body);
-        workers.push(std::thread::spawn(move || {
-            let mut steps: u64 = 0;
-            let mut sent: u64 = 0;
-            let mut drained: u64 = 0;
-            let mut max_backlog: u64 = 0;
-            let mut inbox: Vec<Message> = Vec::new();
-            while !done.load(Ordering::Acquire) && Instant::now() < deadline {
-                if budget.is_some_and(|b| steps >= b) {
-                    // Crashed: stop stepping, but drain-and-drop the inbox
-                    // each wake — the router keeps sending into this
-                    // unbounded channel for the rest of the run, and
-                    // before this drain a long run with a chatty peer
-                    // grew the crashed processor's queue without bound.
-                    // (A crashed processor never *reads* its messages;
-                    // dropping them is exactly the infinite-delay model.)
-                    let mut batch: u64 = 0;
-                    while rx.try_recv().is_ok() {
-                        batch += 1;
-                    }
-                    drained += batch;
-                    max_backlog = max_backlog.max(batch);
-                    std::thread::sleep(Duration::from_millis(1));
-                    continue;
-                }
-                inbox.clear();
-                while let Ok(m) = rx.try_recv() {
-                    inbox.push(m);
-                }
-                let outcome = proc_.step(&inbox);
-                steps += 1;
-                if let Some(task) = outcome.performed {
-                    body(task);
-                    truth.lock().insert(task.index());
-                }
-                if let Some(bits) = outcome.broadcast {
-                    let recipients: Vec<usize> = match outcome.targets {
-                        Some(targets) => targets
-                            .into_iter()
-                            .map(ProcId::index)
-                            .filter(|&to| to != pid && to < p)
-                            .collect(),
-                        None => (0..p).filter(|&to| to != pid).collect(),
-                    };
-                    for to in recipients {
-                        sent += 1;
-                        let _ = to_router.send(Outgoing {
-                            to,
-                            msg: Message::new(ProcId::new(pid), bits.clone()),
-                        });
-                    }
-                }
-                if proc_.knows_all_done() {
-                    done.store(true, Ordering::Release);
-                    break;
-                }
-                if !pace.is_zero() {
-                    std::thread::sleep(pace);
-                }
-            }
-            (steps, sent, drained, max_backlog)
-        }));
-    }
-    drop(to_router);
-
-    let mut work = 0u64;
-    let mut messages = 0u64;
-    let mut per_proc = Vec::with_capacity(p);
-    let mut stats = RuntimeStats::default();
-    for w in workers {
-        let (steps, sent, drained, max_backlog) = w.join().expect("worker panicked");
-        work += steps;
-        messages += sent;
-        per_proc.push(steps);
-        stats.crashed_drained += drained;
-        stats.max_crashed_backlog = stats.max_crashed_backlog.max(max_backlog);
-    }
-    router.join().expect("router panicked");
-
-    let all_done = ground_truth.lock().is_full();
-    let informed = done.load(Ordering::Acquire);
-    let report = RunReport {
-        work,
-        messages,
-        sigma: (informed && all_done)
-            .then(|| u64::try_from(start.elapsed().as_micros()).unwrap_or(u64::MAX)),
-        completed: informed && all_done,
-        work_per_processor: per_proc,
-    };
-    (report, stats)
+    let outcome = Runtime::builder(config.clone())
+        .tasks(body)
+        .run(instance, procs)
+        .unwrap_or_else(|e| panic!("{e}"));
+    (outcome.report, outcome.stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use doall_core::{StepOutcome, TaskId};
+    use doall_core::{BitSet, Message, ProcId, StepOutcome, TaskId};
+    use std::sync::atomic::Ordering;
 
     /// Deterministic sweep used to smoke-test the plumbing without
     /// depending on the algorithms crate (those tests live in /tests).
@@ -410,19 +405,23 @@ mod tests {
     #[test]
     fn solo_sweep_completes() {
         let instance = Instance::new(1, 50).unwrap();
-        let report = run_threaded(instance, sweeps(1, 50), &RuntimeConfig::default());
-        assert!(report.completed);
-        assert!(report.work >= 50);
-        assert_eq!(report.messages, 0);
+        let outcome = Runtime::builder(RuntimeConfig::default())
+            .run(instance, sweeps(1, 50))
+            .unwrap();
+        assert!(outcome.report.completed);
+        assert!(outcome.report.work >= 50);
+        assert_eq!(outcome.report.messages, 0);
     }
 
     #[test]
     fn parallel_sweeps_complete() {
         let instance = Instance::new(4, 30).unwrap();
-        let report = run_threaded(instance, sweeps(4, 30), &RuntimeConfig::default());
-        assert!(report.completed);
-        assert!(report.work >= 30);
-        assert_eq!(report.work_per_processor.len(), 4);
+        let outcome = Runtime::builder(RuntimeConfig::default())
+            .run(instance, sweeps(4, 30))
+            .unwrap();
+        assert!(outcome.report.completed);
+        assert!(outcome.report.work >= 30);
+        assert_eq!(outcome.report.work_per_processor.len(), 4);
     }
 
     #[test]
@@ -436,13 +435,15 @@ mod tests {
                 counter.fetch_add(1, Ordering::Relaxed);
             })
         };
-        let report =
-            run_threaded_with_tasks(instance, sweeps(2, 20), &RuntimeConfig::default(), body);
-        assert!(report.completed);
+        let outcome = Runtime::builder(RuntimeConfig::default())
+            .tasks(body)
+            .run(instance, sweeps(2, 20))
+            .unwrap();
+        assert!(outcome.report.completed);
         // Every performing step ran the body; sweeps perform once per step
         // until their own completion.
         assert!(counter.load(Ordering::Relaxed) >= 20);
-        assert!(counter.load(Ordering::Relaxed) <= report.work);
+        assert!(counter.load(Ordering::Relaxed) <= outcome.report.work);
     }
 
     #[test]
@@ -470,9 +471,11 @@ mod tests {
             timeout: Duration::from_millis(50),
             ..Default::default()
         };
-        let report = run_threaded(instance, vec![Box::new(Idler)], &config);
-        assert!(!report.completed);
-        assert_eq!(report.sigma, None);
+        let outcome = Runtime::builder(config)
+            .run(instance, vec![Box::new(Idler)])
+            .unwrap();
+        assert!(!outcome.report.completed);
+        assert_eq!(outcome.report.sigma, None);
     }
 
     /// Performs its tasks one per step and broadcasts every performance —
@@ -539,7 +542,7 @@ mod tests {
             step_interval: Duration::from_micros(100),
             ..Default::default()
         };
-        let (report, stats) = run_threaded_with_stats(instance, procs, &config, Arc::new(|_| {}));
+        let RunOutcome { report, stats } = Runtime::builder(config).run(instance, procs).unwrap();
         assert!(report.completed, "{report}");
         assert!(
             stats.crashed_drained > 0,
@@ -552,23 +555,112 @@ mod tests {
         assert!(stats.max_crashed_backlog <= stats.crashed_drained);
         // A run without crashes drains nothing.
         let instance = Instance::new(2, 10).unwrap();
-        let (_, clean) = run_threaded_with_stats(
-            instance,
-            sweeps(2, 10),
-            &RuntimeConfig::default(),
-            Arc::new(|_| {}),
-        );
-        assert_eq!(clean, RuntimeStats::default());
+        let clean = Runtime::builder(RuntimeConfig::default())
+            .run(instance, sweeps(2, 10))
+            .unwrap();
+        assert_eq!(clean.stats, RuntimeStats::default());
     }
 
     #[test]
-    #[should_panic(expected = "at least one processor must survive")]
     fn crashing_everyone_is_rejected() {
         let instance = Instance::new(2, 2).unwrap();
         let config = RuntimeConfig {
             crash_after_steps: vec![Some(1), Some(1)],
             ..Default::default()
         };
+        let err = Runtime::builder(config)
+            .run(instance, sweeps(2, 2))
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::AllCrashed);
+        assert_eq!(err.to_string(), "at least one processor must survive");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    #[should_panic(expected = "at least one processor must survive")]
+    fn deprecated_shim_panics_with_the_legacy_message() {
+        let instance = Instance::new(2, 2).unwrap();
+        let config = RuntimeConfig {
+            crash_after_steps: vec![Some(1), Some(1)],
+            ..Default::default()
+        };
         let _ = run_threaded(instance, sweeps(2, 2), &config);
+    }
+
+    #[test]
+    fn empty_proc_list_is_rejected_not_a_panic() {
+        // The `p = 0` edge of the validation bugfix: an empty state-machine
+        // list used to die on an internal assert; now it is a typed error.
+        let instance = Instance::new(2, 2).unwrap();
+        let err = Runtime::builder(RuntimeConfig::default())
+            .run(instance, Vec::new())
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::NoProcessors);
+    }
+
+    #[test]
+    fn wrong_proc_count_is_rejected() {
+        let instance = Instance::new(3, 2).unwrap();
+        let err = Runtime::builder(RuntimeConfig::default())
+            .run(instance, sweeps(2, 2))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::ProcessCount {
+                expected: 3,
+                got: 2
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_crash_fraction_is_rejected() {
+        let instance = Instance::new(4, 8).unwrap();
+        for bad in [-0.5, 1.5, f64::NAN] {
+            let err = Runtime::builder(RuntimeConfig::default())
+                .crash_fraction(bad)
+                .run(instance, sweeps(4, 8))
+                .unwrap_err();
+            assert!(
+                matches!(err, RuntimeError::CrashFraction(_)),
+                "fraction {bad} gave {err}"
+            );
+        }
+        // And a legal fraction still completes (processor 0 survives).
+        let outcome = Runtime::builder(RuntimeConfig::default())
+            .crash_fraction(0.5)
+            .run(instance, sweeps(4, 8))
+            .unwrap();
+        assert!(outcome.report.completed);
+    }
+
+    #[test]
+    fn crash_fraction_conflicts_with_explicit_budgets() {
+        let instance = Instance::new(2, 2).unwrap();
+        let config = RuntimeConfig {
+            crash_after_steps: vec![None, Some(1)],
+            ..Default::default()
+        };
+        let err = Runtime::builder(config)
+            .crash_fraction(0.5)
+            .run(instance, sweeps(2, 2))
+            .unwrap_err();
+        assert_eq!(err, RuntimeError::CrashConflict);
+    }
+
+    #[test]
+    fn pace_overrides_must_cover_every_processor() {
+        let instance = Instance::new(3, 3).unwrap();
+        let err = Runtime::builder(RuntimeConfig::default())
+            .pace_overrides(vec![Some(Duration::from_micros(10))])
+            .run(instance, sweeps(3, 3))
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RuntimeError::PaceLength {
+                expected: 3,
+                got: 1
+            }
+        );
     }
 }

@@ -3,7 +3,7 @@
 
 use doall_algorithms::{Algorithm, Da, PaDet, PaRan1, PaRan2, SoloAll};
 use doall_core::Instance;
-use doall_runtime::{run_threaded, RuntimeConfig};
+use doall_runtime::{Runtime, RuntimeConfig};
 use std::time::Duration;
 
 fn config() -> RuntimeConfig {
@@ -27,13 +27,16 @@ fn all_algorithms_complete_on_threads() {
         Box::new(PaDet::random_for(instance, 0)),
     ];
     for algo in algos {
-        let report = run_threaded(instance, algo.spawn(instance), &config());
+        let outcome = Runtime::builder(config())
+            .run(instance, algo.spawn(instance))
+            .expect("valid setup");
         assert!(
-            report.completed,
-            "{} did not complete on threads: {report}",
-            algo.name()
+            outcome.report.completed,
+            "{} did not complete on threads: {}",
+            algo.name(),
+            outcome.report
         );
-        assert!(report.work >= 32, "{}", algo.name());
+        assert!(outcome.report.work >= 32, "{}", algo.name());
     }
 }
 
@@ -44,8 +47,14 @@ fn threads_with_crashes_still_complete() {
     // Processors 1..3 crash after a handful of steps; processor 0 survives.
     cfg.crash_after_steps = vec![None, Some(3), Some(5), Some(2)];
     let algo = Da::with_default_schedules(2, 7);
-    let report = run_threaded(instance, algo.spawn(instance), &cfg);
-    assert!(report.completed, "survivor must finish alone: {report}");
+    let outcome = Runtime::builder(cfg)
+        .run(instance, algo.spawn(instance))
+        .expect("valid setup");
+    assert!(
+        outcome.report.completed,
+        "survivor must finish alone: {}",
+        outcome.report
+    );
 }
 
 #[test]
@@ -55,12 +64,14 @@ fn cooperation_reduces_per_processor_load() {
     // statistical property of real schedules; keep generous margins.
     let instance = Instance::new(8, 200).unwrap();
     let algo = PaRan2::new(5);
-    let report = run_threaded(instance, algo.spawn(instance), &config());
-    assert!(report.completed);
+    let outcome = Runtime::builder(config())
+        .run(instance, algo.spawn(instance))
+        .expect("valid setup");
+    assert!(outcome.report.completed);
     let quadratic = 8 * 200;
     assert!(
-        report.work < quadratic,
+        outcome.report.work < quadratic,
         "cooperative work {} should beat oblivious {quadratic}",
-        report.work
+        outcome.report.work
     );
 }

@@ -12,7 +12,7 @@
 //! ```
 
 use doall::prelude::*;
-use doall::runtime::{run_threaded_with_tasks, RuntimeConfig};
+use doall::runtime::{Runtime, RuntimeConfig};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -59,8 +59,11 @@ fn main() -> Result<(), doall::CoreError> {
             }
         })
     };
-    let report =
-        run_threaded_with_tasks(instance, algorithm.spawn(instance), &config, body.clone());
+    let report = Runtime::builder(config.clone())
+        .tasks(body.clone())
+        .run(instance, algorithm.spawn(instance))
+        .expect("valid setup")
+        .report;
 
     println!("run report: {report}");
     assert!(report.completed, "the sky must be fully scanned");
@@ -83,7 +86,11 @@ fn main() -> Result<(), doall::CoreError> {
     crashy.crash_after_steps = (0..p)
         .map(|i| if i == 0 { None } else { Some(12) })
         .collect();
-    let report = run_threaded_with_tasks(instance, algorithm.spawn(instance), &crashy, body);
+    let report = Runtime::builder(crashy)
+        .tasks(body)
+        .run(instance, algorithm.spawn(instance))
+        .expect("valid setup")
+        .report;
     println!("\nwith {p}−1 early crashes: {report}");
     assert!(report.completed, "lone survivor still finishes the scan");
 

@@ -156,7 +156,8 @@ doall — message-delay-sensitive Do-All (Kowalski & Shvartsman, PODC'03)
 
 USAGE:
   doall simulate   --algo A -p P -t T -d D [--adversary ADV] [--seed S]
-  doall sweep      --grid 'algos=A,... advs=ADV,... shapes=PxT,... ds=D,... seeds=K seed=S'
+  doall sweep      --grid 'algos=A,... advs=ADV,... [backends=B,...] shapes=PxT,...
+                   ds=D,... seeds=K seed=S'
                    [--threads N] [--shard-size N] [--max-ticks N] [--json|--csv]
                    [--out PATH] [--compare BASELINE.json] [--tolerance X]
   doall sweep      --algo A -p P -t T [-d D] [--adversary ADV] [--seed S]
@@ -180,6 +181,16 @@ Adversaries are parameterized: bare keys keep their legacy defaults
 stagger even; straggler 25% at slowdown 2). Numeric knobs canonicalize
 (crash:07 ≡ crash:7), so one adversary has one cell identity.
 
+BACKENDS (B): sim | threads
+  The optional backends= axis runs every cell once per backend: `sim` is
+  the deterministic tick simulator; `threads` executes the same state
+  machines on real OS threads via doall-runtime (d becomes a random
+  message-delay cap, crash plans become step budgets, stragglers a
+  slower pace). Tagged records carry a \"backend\" field plus the
+  measured-only metrics wall_clock_ms / crashed_drained /
+  max_crashed_backlog (zero under sim). Omitting the axis keeps the
+  legacy sim-only schema byte-for-byte.
+
 Sweeps run on the doall-bench harness: work is scheduled as (cell,
 replicate-chunk) shards across a thread pool with per-replicate
 deterministic seeding, so --threads and --shard-size change wall-clock
@@ -188,10 +199,14 @@ only, never a number — a single huge cell spreads across every worker.
 BENCH_sweep.json).
 
 `compare` (and `sweep --compare`) matches cells of two result sets by
-(experiment, algo, adversary, p, t, d, seeds) and classifies each as
-exact, drift, added, or removed. Results are deterministic, so the
-default --tolerance is 0: any value drift on an unchanged grid is a
-regression. Exit codes follow diff: 0 clean, 1 drift, 2 errors.
+(experiment, algo, adversary, backend, p, t, d, seeds) — records
+without a backend field key as `sim` — and classifies each as exact,
+drift, added, or removed. Results are deterministic, so the default
+--tolerance is 0: any value drift on an unchanged grid is a
+regression. Measured-only metrics (wall_clock_ms, crashed_drained,
+max_crashed_backlog) and the values of `threads`-backend cells are
+exempt — real-thread counts follow OS scheduling, so only their
+presence is gated. Exit codes follow diff: 0 clean, 1 drift, 2 errors.
 ";
 
 /// Parses an argument vector (without the program name).
@@ -352,6 +367,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                             .map_err(|e| err(format!("{e}; try `doall help`")))?],
                         shapes: vec![(p, t)],
                         ds,
+                        backends: Vec::new(),
                         seeds: 1,
                         base_seed: seed,
                     };
@@ -943,6 +959,33 @@ mod tests {
             "algos=frobnicate shapes=4x8".to_string(),
         ];
         assert!(parse(&bad_grid).is_err());
+    }
+
+    #[test]
+    fn sweep_grid_accepts_the_backends_axis() {
+        use doall_bench::grid::Backend;
+        let argv = vec![
+            "sweep".to_string(),
+            "--grid".to_string(),
+            "algos=da:3 advs=unit,crash:25@burst backends=sim,threads shapes=8x32 ds=2 \
+             seeds=2 seed=0"
+                .to_string(),
+        ];
+        match parse(&argv).unwrap() {
+            Command::Sweep(spec) => {
+                assert_eq!(spec.grid.backends, vec![Backend::Sim, Backend::Threads]);
+                // One cell per (algo × adv × shape × d × backend).
+                assert_eq!(spec.grid.cells().len(), 4);
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        let bad = vec![
+            "sweep".to_string(),
+            "--grid".to_string(),
+            "algos=da:3 backends=gpu shapes=8x32".to_string(),
+        ];
+        let e = parse(&bad).unwrap_err().to_string();
+        assert!(e.contains("unknown backend"), "{e}");
     }
 
     #[test]

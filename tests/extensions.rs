@@ -176,7 +176,7 @@ fn execution_profile_quantifies_redundancy() {
 
 #[test]
 fn gossip_on_real_threads() {
-    use doall::runtime::{run_threaded, RuntimeConfig};
+    use doall::runtime::{Runtime, RuntimeConfig};
     use std::time::Duration;
     let instance = Instance::new(6, 30).unwrap();
     let config = RuntimeConfig {
@@ -187,6 +187,8 @@ fn gossip_on_real_threads() {
         step_interval: Duration::from_micros(20),
     };
     let algo = PaGossip::new(4, 2);
-    let report = run_threaded(instance, algo.spawn(instance), &config);
-    assert!(report.completed, "{report}");
+    let outcome = Runtime::builder(config)
+        .run(instance, algo.spawn(instance))
+        .expect("valid setup");
+    assert!(outcome.report.completed, "{}", outcome.report);
 }
