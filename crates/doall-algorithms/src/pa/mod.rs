@@ -159,9 +159,10 @@ impl DoAllProcess for PaProcess {
     }
 
     fn step(&mut self, inbox: &[Message]) -> StepOutcome {
-        // Merge received knowledge (free within the step).
+        // Merge received knowledge (free within the step) straight from
+        // the shared payloads — no copies.
         for msg in inbox {
-            self.done.merge(&DoneSet::from_bits(msg.bits().clone()));
+            self.done.merge_bits(msg.bits());
         }
 
         // A job in progress is the atomic scheduling unit: finish it even

@@ -111,14 +111,29 @@ impl BitSet {
             self.len, other.len,
             "cannot union bitsets of different capacities"
         );
+        // Word-parallel with a no-news fast path: gossip traffic is highly
+        // redundant (most received replicas are subsets of what the
+        // receiver already knows), so most words gain nothing. Testing the
+        // diff first skips the popcount and the store — and lets the whole
+        // word loop run branch-predicted-empty on a subset payload.
         let mut gained = 0usize;
         for (w, o) in self.words.iter_mut().zip(&other.words) {
-            let new = *w | *o;
-            gained += (new ^ *w).count_ones() as usize;
-            *w = new;
+            let diff = *o & !*w;
+            if diff != 0 {
+                *w |= diff;
+                gained += diff.count_ones() as usize;
+            }
         }
         self.ones += gained;
         gained > 0
+    }
+
+    /// Removes every bit, keeping the capacity and the allocation — the
+    /// arena-reset primitive used when a simulation recycles its
+    /// ground-truth set across replicates.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.ones = 0;
     }
 
     /// Whether `self` contains every bit of `other`.

@@ -61,6 +61,17 @@ impl DoneSet {
         self.bits.union_with(&other.bits)
     }
 
+    /// Merges a raw progress bitmap (e.g. a received message payload)
+    /// into this knowledge set without wrapping or copying it; returns
+    /// `true` if anything new was learned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` covers a different number of tasks.
+    pub fn merge_bits(&mut self, bits: &BitSet) -> bool {
+        self.bits.union_with(bits)
+    }
+
     /// Iterator over tasks *not* known complete, in increasing index order.
     pub fn unknown(&self) -> impl Iterator<Item = TaskId> + '_ {
         self.bits.iter_zeros().map(TaskId::new)

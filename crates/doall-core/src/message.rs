@@ -5,23 +5,50 @@
 //! tasks (a [`crate::DoneSet`]); for DA they index the nodes of the
 //! replicated q-ary progress tree. Receivers merge payloads into local state
 //! by bitwise OR.
+//!
+//! # Shared-payload ownership rule
+//!
+//! A payload is **immutable once submitted**. The sender builds its bitmap,
+//! hands it to the network, and never writes to that copy again — the
+//! paper's Section 5.1.2 observation that the messages are monotone
+//! snapshots, so "no issues of consistency arise". The envelope therefore
+//! stores the payload behind an [`Arc`]: a p-way broadcast is `p − 1`
+//! envelopes sharing **one** allocation (each fan-out copy is a reference
+//! count bump, not a `BitSet` clone), and receivers merge through
+//! [`bits`](Message::bits) as a plain `&BitSet`. The `Arc` is an ownership
+//! statement, not a concurrency device: there is no way to obtain a mutable
+//! reference to a payload from an envelope, so a received bitmap can never
+//! be edited in place — merge it into your own state and drop the message.
+//!
+//! Constructors take `impl Into<Arc<BitSet>>`, so call sites may pass an
+//! owned `BitSet` (converted for them) or an `Arc<BitSet>` they already
+//! share; algorithm code that built payloads by value keeps compiling
+//! unchanged.
 
 use crate::{BitSet, ProcId};
+use std::sync::Arc;
 
 /// A point-to-point message. Broadcasts are modelled as `p − 1`
 /// point-to-point messages, exactly as in the paper's message-complexity
-/// accounting (Definition 2.2).
+/// accounting (Definition 2.2) — but all `p − 1` envelopes share one
+/// payload allocation (see the module docs).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Message {
     from: ProcId,
-    bits: BitSet,
+    bits: Arc<BitSet>,
 }
 
 impl Message {
     /// Creates a message from `from` carrying progress bitmap `bits`.
+    ///
+    /// Accepts an owned [`BitSet`] (moved into a fresh `Arc`) or an
+    /// already-shared `Arc<BitSet>` (no allocation, no copy).
     #[must_use]
-    pub fn new(from: ProcId, bits: BitSet) -> Self {
-        Self { from, bits }
+    pub fn new(from: ProcId, bits: impl Into<Arc<BitSet>>) -> Self {
+        Self {
+            from,
+            bits: bits.into(),
+        }
     }
 
     /// The sender.
@@ -30,16 +57,26 @@ impl Message {
         self.from
     }
 
-    /// The progress bitmap carried by the message.
+    /// The progress bitmap carried by the message (read-only — payloads
+    /// are immutable once sent; see the module docs).
     #[must_use]
     pub fn bits(&self) -> &BitSet {
         &self.bits
     }
 
-    /// Consumes the message, yielding its payload.
+    /// The shared payload handle — lets a receiver forward or store the
+    /// payload without copying it.
+    #[must_use]
+    pub fn shared_bits(&self) -> &Arc<BitSet> {
+        &self.bits
+    }
+
+    /// Consumes the message, yielding its payload. Unwraps the shared
+    /// allocation when this envelope was its last holder; clones the
+    /// bitmap otherwise.
     #[must_use]
     pub fn into_bits(self) -> BitSet {
-        self.bits
+        Arc::try_unwrap(self.bits).unwrap_or_else(|shared| (*shared).clone())
     }
 }
 
@@ -55,5 +92,27 @@ mod tests {
         assert_eq!(m.from(), ProcId::new(2));
         assert_eq!(m.bits(), &b);
         assert_eq!(m.into_bits(), b);
+    }
+
+    #[test]
+    fn fan_out_shares_one_payload() {
+        let mut b = BitSet::new(8);
+        b.insert(3);
+        let payload: Arc<BitSet> = Arc::new(b);
+        let copies: Vec<Message> = (1..4)
+            .map(|to| {
+                let _ = to;
+                Message::new(ProcId::new(0), Arc::clone(&payload))
+            })
+            .collect();
+        for m in &copies {
+            assert!(Arc::ptr_eq(m.shared_bits(), &payload), "no deep copy");
+        }
+        // `into_bits` on a still-shared payload clones; on the last
+        // holder it unwraps in place.
+        drop(copies);
+        let only = Message::new(ProcId::new(0), payload);
+        let back = only.into_bits();
+        assert!(back.contains(3));
     }
 }

@@ -1,6 +1,7 @@
 //! The state-machine trait implemented by every Do-All algorithm.
 
 use crate::{BitSet, Message, ProcId, TaskId};
+use std::sync::Arc;
 
 /// What a single local step did.
 ///
@@ -18,8 +19,10 @@ pub struct StepOutcome {
     /// point-to-point messages); with `targets == Some(v)` it is a
     /// multicast to exactly `v` (|v| messages) — used by the
     /// message-throttled gossip variants (the paper's §7 asks for
-    /// algorithms that also control message complexity).
-    pub broadcast: Option<BitSet>,
+    /// algorithms that also control message complexity). The payload is
+    /// shared, never copied, by the network fan-out — see the
+    /// shared-payload ownership rule in [`crate::message`].
+    pub broadcast: Option<Arc<BitSet>>,
     /// Explicit recipients for `broadcast`; `None` means everyone else.
     /// Ignored when `broadcast` is `None`.
     pub targets: Option<Vec<ProcId>>,
@@ -43,20 +46,20 @@ impl StepOutcome {
 
     /// A step that performed `task` and submitted broadcast `bits`.
     #[must_use]
-    pub fn perform_and_broadcast(task: TaskId, bits: BitSet) -> Self {
+    pub fn perform_and_broadcast(task: TaskId, bits: impl Into<Arc<BitSet>>) -> Self {
         Self {
             performed: Some(task),
-            broadcast: Some(bits),
+            broadcast: Some(bits.into()),
             targets: None,
         }
     }
 
     /// A step that only submitted broadcast `bits`.
     #[must_use]
-    pub fn broadcast(bits: BitSet) -> Self {
+    pub fn broadcast(bits: impl Into<Arc<BitSet>>) -> Self {
         Self {
             performed: None,
-            broadcast: Some(bits),
+            broadcast: Some(bits.into()),
             targets: None,
         }
     }
@@ -64,10 +67,14 @@ impl StepOutcome {
     /// A step that performed `task` and multicast `bits` to exactly
     /// `targets` (the gossip primitive).
     #[must_use]
-    pub fn perform_and_multicast(task: TaskId, bits: BitSet, targets: Vec<ProcId>) -> Self {
+    pub fn perform_and_multicast(
+        task: TaskId,
+        bits: impl Into<Arc<BitSet>>,
+        targets: Vec<ProcId>,
+    ) -> Self {
         Self {
             performed: Some(task),
-            broadcast: Some(bits),
+            broadcast: Some(bits.into()),
             targets: Some(targets),
         }
     }

@@ -98,7 +98,7 @@ pub(crate) fn execute(
                         sent += 1;
                         let _ = to_router.send(Outgoing {
                             to,
-                            msg: Message::new(ProcId::new(pid), bits.clone()),
+                            msg: Message::new(ProcId::new(pid), Arc::clone(&bits)),
                         });
                     }
                 }

@@ -5,6 +5,7 @@ use crate::{Adversary, Mailboxes, SimView, Trace, TraceEvent};
 use doall_core::{
     BitSet, DoAllProcess, Instance, Message, MessageTally, ProcId, RunReport, WorkTally,
 };
+use std::sync::Arc;
 
 /// Default safety cutoff: ticks after which a run is abandoned as
 /// non-terminating (the adversary can always prevent termination by
@@ -243,7 +244,10 @@ impl Simulation {
                         };
                         let delay = self.adversary.message_delay(&view, from, ProcId::new(to));
                         assert!(delay >= 1, "message delays are at least one time unit");
-                        mailboxes.push(to, now + delay, Message::new(from, bits.clone()));
+                        // Zero-copy fan-out: every recipient's envelope
+                        // shares the one payload allocation (`p − 1`
+                        // refcount bumps instead of `p − 1` BitSet clones).
+                        mailboxes.push(to, now + delay, Message::new(from, Arc::clone(&bits)));
                     }
                 }
                 if informed.is_none() && self.procs[pid].knows_all_done() {
