@@ -44,8 +44,11 @@ fn completion_matrix() {
             for k in 0..n_adv {
                 let adversary = adversaries(5, t, 7).remove(k);
                 let name = format!("{} vs {} (p={p}, t={t})", algo.name(), adversary.name());
-                let report = Simulation::new(instance, algo.spawn(instance), adversary)
+                let report = Simulation::builder(instance)
+                    .procs(algo.spawn(instance))
+                    .adversary(adversary)
                     .max_ticks(500_000)
+                    .build()
                     .run();
                 assert!(report.completed, "{name}: did not complete: {report}");
                 assert!(report.work >= t as u64, "{name}: work below t");
@@ -59,12 +62,11 @@ fn completion_matrix() {
 fn solo_all_work_is_exactly_pt() {
     for (p, t) in [(1, 10), (4, 10), (8, 64)] {
         let instance = Instance::new(p, t).unwrap();
-        let report = Simulation::new(
-            instance,
-            SoloAll::new().spawn(instance),
-            Box::new(UnitDelay),
-        )
-        .run();
+        let report = Simulation::builder(instance)
+            .procs(SoloAll::new().spawn(instance))
+            .adversary(Box::new(UnitDelay))
+            .build()
+            .run();
         assert!(report.completed);
         assert_eq!(
             report.work,
@@ -86,7 +88,11 @@ fn cooperation_beats_oblivious_at_small_d() {
         if algo.name() == "SoloAll" {
             continue;
         }
-        let report = Simulation::new(instance, algo.spawn(instance), Box::new(UnitDelay)).run();
+        let report = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(UnitDelay))
+            .build()
+            .run();
         assert!(report.completed);
         assert!(
             report.work < quadratic,
@@ -108,14 +114,16 @@ fn work_grows_with_delay() {
         if algo.name() == "SoloAll" {
             continue;
         }
-        let fast =
-            Simulation::new(instance, algo.spawn(instance), Box::new(FixedDelay::new(1))).run();
-        let slow = Simulation::new(
-            instance,
-            algo.spawn(instance),
-            Box::new(FixedDelay::new(64)),
-        )
-        .run();
+        let fast = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(FixedDelay::new(1)))
+            .build()
+            .run();
+        let slow = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(FixedDelay::new(64)))
+            .build()
+            .run();
         assert!(fast.completed && slow.completed);
         assert!(
             slow.work >= fast.work,
@@ -136,8 +144,11 @@ fn crash_tolerant_with_single_survivor() {
     let instance = Instance::new(p, t).unwrap();
     for algo in algorithms(instance, 13) {
         let adversary = CrashSchedule::all_but_one(Box::new(FixedDelay::new(3)), p, 2, 10);
-        let report = Simulation::new(instance, algo.spawn(instance), Box::new(adversary))
+        let report = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(adversary))
             .max_ticks(500_000)
+            .build()
             .run();
         assert!(
             report.completed,
@@ -153,18 +164,16 @@ fn deterministic_reports_are_reproducible() {
     let t = 24;
     let instance = Instance::new(p, t).unwrap();
     for algo in algorithms(instance, 21) {
-        let a = Simulation::new(
-            instance,
-            algo.spawn(instance),
-            Box::new(StageAligned::new(4)),
-        )
-        .run();
-        let b = Simulation::new(
-            instance,
-            algo.spawn(instance),
-            Box::new(StageAligned::new(4)),
-        )
-        .run();
+        let a = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(StageAligned::new(4)))
+            .build()
+            .run();
+        let b = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(StageAligned::new(4)))
+            .build()
+            .run();
         assert_eq!(a, b, "{}: simulation must be deterministic", algo.name());
     }
 }
@@ -175,7 +184,11 @@ fn da_message_complexity_at_most_p_per_step() {
     let t = 27;
     let instance = Instance::new(p, t).unwrap();
     let da = Da::with_default_schedules(3, 0);
-    let report = Simulation::new(instance, da.spawn(instance), Box::new(FixedDelay::new(4))).run();
+    let report = Simulation::builder(instance)
+        .procs(da.spawn(instance))
+        .adversary(Box::new(FixedDelay::new(4)))
+        .build()
+        .run();
     assert!(report.completed);
     assert!(
         report.messages <= report.work * (p as u64 - 1),
@@ -191,14 +204,17 @@ fn lower_bound_adversary_inflates_deterministic_work() {
     let t = 81;
     let instance = Instance::new(p, t).unwrap();
     let da = Da::with_default_schedules(3, 0);
-    let benign = Simulation::new(instance, da.spawn(instance), Box::new(UnitDelay)).run();
-    let attacked = Simulation::new(
-        instance,
-        da.spawn(instance),
-        Box::new(LowerBoundAdversary::new(16, t)),
-    )
-    .max_ticks(500_000)
-    .run();
+    let benign = Simulation::builder(instance)
+        .procs(da.spawn(instance))
+        .adversary(Box::new(UnitDelay))
+        .build()
+        .run();
+    let attacked = Simulation::builder(instance)
+        .procs(da.spawn(instance))
+        .adversary(Box::new(LowerBoundAdversary::new(16, t)))
+        .max_ticks(500_000)
+        .build()
+        .run();
     assert!(benign.completed && attacked.completed);
     assert!(
         attacked.work > benign.work,

@@ -18,12 +18,11 @@ fn bench_da(c: &mut Criterion) {
             group.bench_function(format!("q={q}/p=27/t=729/d={d}"), |bench| {
                 bench.iter(|| {
                     black_box(
-                        Simulation::new(
-                            instance,
-                            da.spawn(instance),
-                            Box::new(StageAligned::new(d)),
-                        )
-                        .run(),
+                        Simulation::builder(instance)
+                            .procs(da.spawn(instance))
+                            .adversary(Box::new(StageAligned::new(d)))
+                            .build()
+                            .run(),
                     )
                 });
             });

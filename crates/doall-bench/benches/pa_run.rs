@@ -17,12 +17,11 @@ fn bench_pa(c: &mut Criterion) {
         group.bench_function(format!("padet/p=64/t=256/d={d}"), |bench| {
             bench.iter(|| {
                 black_box(
-                    Simulation::new(
-                        instance,
-                        padet.spawn(instance),
-                        Box::new(StageAligned::new(d)),
-                    )
-                    .run(),
+                    Simulation::builder(instance)
+                        .procs(padet.spawn(instance))
+                        .adversary(Box::new(StageAligned::new(d)))
+                        .build()
+                        .run(),
                 )
             });
         });
@@ -31,24 +30,22 @@ fn bench_pa(c: &mut Criterion) {
         bench.iter(|| {
             let algo = PaRan1::new(3);
             black_box(
-                Simulation::new(
-                    instance,
-                    algo.spawn(instance),
-                    Box::new(StageAligned::new(16)),
-                )
-                .run(),
+                Simulation::builder(instance)
+                    .procs(algo.spawn(instance))
+                    .adversary(Box::new(StageAligned::new(16)))
+                    .build()
+                    .run(),
             )
         });
     });
     group.bench_function("padet_vs_lb_adversary/p=64/t=256/d=16", |bench| {
         bench.iter(|| {
             black_box(
-                Simulation::new(
-                    instance,
-                    padet.spawn(instance),
-                    Box::new(LowerBoundAdversary::new(16, 256)),
-                )
-                .run(),
+                Simulation::builder(instance)
+                    .procs(padet.spawn(instance))
+                    .adversary(Box::new(LowerBoundAdversary::new(16, 256)))
+                    .build()
+                    .run(),
             )
         });
     });

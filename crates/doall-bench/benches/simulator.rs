@@ -17,7 +17,11 @@ fn bench_simulator(c: &mut Criterion) {
         bench.iter(|| {
             let algo = SoloAll::new();
             black_box(
-                Simulation::new(instance, algo.spawn(instance), Box::new(FixedDelay::new(8))).run(),
+                Simulation::builder(instance)
+                    .procs(algo.spawn(instance))
+                    .adversary(Box::new(FixedDelay::new(8)))
+                    .build()
+                    .run(),
             )
         });
     });
@@ -25,12 +29,11 @@ fn bench_simulator(c: &mut Criterion) {
         bench.iter(|| {
             let algo = PaRan2::new(1);
             black_box(
-                Simulation::new(
-                    instance,
-                    algo.spawn(instance),
-                    Box::new(StageAligned::new(8)),
-                )
-                .run(),
+                Simulation::builder(instance)
+                    .procs(algo.spawn(instance))
+                    .adversary(Box::new(StageAligned::new(8)))
+                    .build()
+                    .run(),
             )
         });
     });
@@ -38,7 +41,13 @@ fn bench_simulator(c: &mut Criterion) {
     group.bench_function("pa_ran2/p=128/t=512/d=32", |bench| {
         bench.iter(|| {
             let algo = PaRan2::new(1);
-            black_box(Simulation::new(big, algo.spawn(big), Box::new(StageAligned::new(32))).run())
+            black_box(
+                Simulation::builder(big)
+                    .procs(algo.spawn(big))
+                    .adversary(Box::new(StageAligned::new(32)))
+                    .build()
+                    .run(),
+            )
         });
     });
     group.finish();

@@ -22,7 +22,7 @@ use crate::grid::{
 use doall_core::Instance;
 use doall_runtime::{Runtime, RuntimeConfig};
 use doall_sim::analysis::{execution_profile, summarize, BatchSummary, ProfilePartial};
-use doall_sim::{Simulation, Trace, DEFAULT_MAX_TICKS};
+use doall_sim::{Simulation, Trace, TraceMode, DEFAULT_MAX_TICKS};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -423,44 +423,53 @@ pub fn run_cells_with_stats(
     // the minimum over collected errors is therefore scheduling-free.
     let errors: Mutex<BTreeMap<(usize, usize), SweepError>> = Mutex::new(BTreeMap::new());
     let workers = cfg.threads.max(1).min(shards.len().max(1));
-    crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                // One reusable trace buffer per worker (trace mode only):
-                // cleared between replicates, never reallocated.
-                let mut trace_buf: Option<Trace> = None;
-                let mut claimed_any = false;
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= shards.len() {
-                        break;
-                    }
-                    if !claimed_any {
-                        claimed_any = true;
-                        engaged.fetch_add(1, Ordering::Relaxed);
-                    }
-                    let shard = shards[i];
-                    match run_shard(&cells[shard.cell], &shard, cfg, &mut trace_buf) {
-                        Ok(output) => {
-                            slots.lock().expect("poisoned")[shard.cell][shard.slot] = Some(output);
-                        }
-                        Err(e) => {
-                            errors
-                                .lock()
-                                .expect("poisoned")
-                                .insert((shard.cell, shard.slot), e);
-                            // Drain remaining work so every worker exits
-                            // fast; in-flight shards still finish and
-                            // record their own errors.
-                            next.fetch_add(shards.len(), Ordering::Relaxed);
-                            break;
-                        }
-                    }
+    let worker = || {
+        // One reusable trace buffer per worker (trace mode only):
+        // cleared between replicates, never reallocated.
+        let mut trace_buf: Option<Trace> = None;
+        let mut claimed_any = false;
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= shards.len() {
+                break;
+            }
+            if !claimed_any {
+                claimed_any = true;
+                engaged.fetch_add(1, Ordering::Relaxed);
+            }
+            let shard = shards[i];
+            match run_shard(&cells[shard.cell], &shard, cfg, &mut trace_buf) {
+                Ok(output) => {
+                    slots.lock().expect("poisoned")[shard.cell][shard.slot] = Some(output);
                 }
-            });
+                Err(e) => {
+                    errors
+                        .lock()
+                        .expect("poisoned")
+                        .insert((shard.cell, shard.slot), e);
+                    // Drain remaining work so every worker exits
+                    // fast; in-flight shards still finish and
+                    // record their own errors.
+                    next.fetch_add(shards.len(), Ordering::Relaxed);
+                    break;
+                }
+            }
         }
-    })
-    .expect("sweep workers do not panic");
+    };
+    if workers == 1 {
+        // A lone worker needs no pool: run the identical claim loop on
+        // the caller thread (same shard walk, same slotting — results
+        // can't differ) and skip the spawn/join round trip, which on
+        // grids of tiny cells is a measurable slice of the wall-clock.
+        worker();
+    } else {
+        crossbeam::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(worker);
+            }
+        })
+        .expect("sweep workers do not panic");
+    }
     let stats = SweepStats {
         shards: shards.len(),
         workers,
@@ -501,19 +510,23 @@ fn run_shard(
             let algo = build_algorithm(&cell.algo, instance, seed).expect("validated above");
             let adversary =
                 build_adversary(&cell.adversary, cell.p, cell.t, cell.d, seed, cfg.max_ticks);
-            let sim =
-                Simulation::new(instance, algo.spawn(instance), adversary).max_ticks(cfg.max_ticks);
             // Reuse the worker's buffer only when its capacity covers
             // this cell — a buffer first sized for a smaller shape would
             // truncate here, and `execution_profile` (rightly) rejects
             // truncated traces. An undersized buffer is dropped and a
             // correctly sized one allocated in its place.
             let needed = trace_capacity(cell.p, cfg.max_ticks);
-            let sim = match trace_buf.take().filter(|buf| buf.capacity() >= needed) {
-                Some(buf) => sim.with_trace_buffer(buf),
-                None => sim.with_trace(needed),
+            let mode = match trace_buf.take().filter(|buf| buf.capacity() >= needed) {
+                Some(buf) => TraceMode::Recycled(buf),
+                None => TraceMode::Buffered(needed),
             };
-            let (report, trace) = sim.run_traced();
+            let (report, trace) = Simulation::builder(instance)
+                .procs(algo.spawn(instance))
+                .adversary(adversary)
+                .max_ticks(cfg.max_ticks)
+                .trace(mode)
+                .build()
+                .run_traced();
             let trace = trace.expect("tracing enabled");
             partial.record(&execution_profile(&trace, cell.t));
             *trace_buf = Some(trace);
@@ -524,10 +537,12 @@ fn run_shard(
             instance,
             shard.len,
             cfg.max_ticks,
-            |k| {
-                build_algorithm(&cell.algo, instance, cell.run_seed(shard.start + k))
-                    .expect("validated above")
-                    .spawn(instance)
+            |k, procs| {
+                procs.extend(
+                    build_algorithm(&cell.algo, instance, cell.run_seed(shard.start + k))
+                        .expect("validated above")
+                        .spawn(instance),
+                );
             },
             |k| {
                 build_adversary(
@@ -1172,13 +1187,12 @@ mod tests {
         let run = |key: &str, d: u64| {
             let spec = AdversarySpec::parse(key).unwrap();
             let algo = build_algorithm("paran1", instance, 7).unwrap();
-            Simulation::new(
-                instance,
-                algo.spawn(instance),
-                build_adversary(&spec, 16, 64, d, 7, 1_000_000),
-            )
-            .max_ticks(1_000_000)
-            .run()
+            Simulation::builder(instance)
+                .procs(algo.spawn(instance))
+                .adversary(build_adversary(&spec, 16, 64, d, 7, 1_000_000))
+                .max_ticks(1_000_000)
+                .build()
+                .run()
         };
         for bursty_key in ["bursty", "bursty:2"] {
             let unit = run("unit", 8);

@@ -21,7 +21,7 @@ pub struct StepOutcome {
     /// message-throttled gossip variants (the paper's §7 asks for
     /// algorithms that also control message complexity). The payload is
     /// shared, never copied, by the network fan-out — see the
-    /// shared-payload ownership rule in [`crate::message`].
+    /// shared-payload ownership rule in [`Message`]'s module docs.
     pub broadcast: Option<Arc<BitSet>>,
     /// Explicit recipients for `broadcast`; `None` means everyone else.
     /// Ignored when `broadcast` is `None`.
@@ -98,6 +98,15 @@ impl StepOutcome {
 ///   cloning forks the random stream — the lower-bound adversary exploits
 ///   this to *peek* one step ahead, mirroring the omniscient adversary of
 ///   Theorem 3.4.
+/// * The inbox is a *set of monotone payloads*, not a sequence: payloads
+///   are knowledge sets merged by union (Section 5.1.2), so behaviour must
+///   not depend on message order, multiplicity, or grouping. The delivery
+///   engine relies on this — it may split one broadcast into `p − 1`
+///   envelopes or coalesce several same-instant broadcasts into one
+///   message whose payload is their union (see `doall-sim`'s
+///   `BroadcastBus`), and a processor may receive its own payload
+///   reflected back within such a union. Either way the union of received
+///   bits is identical.
 ///
 /// The trait is object-safe; the simulator stores `Box<dyn DoAllProcess>`,
 /// and [`clone_box`](Self::clone_box) supports the dry-run cloning used by

@@ -1,7 +1,7 @@
 //! Delay-only adversaries: every processor steps every time unit; only
 //! message delays vary.
 
-use super::Adversary;
+use super::{Adversary, Delivery};
 use crate::SimView;
 use doall_core::ProcId;
 use rand::rngs::StdRng;
@@ -16,6 +16,10 @@ pub struct UnitDelay;
 impl Adversary for UnitDelay {
     fn name(&self) -> &str {
         "unit-delay"
+    }
+
+    fn delivery(&self) -> Delivery {
+        Delivery::UniformBroadcast
     }
 }
 
@@ -56,6 +60,10 @@ impl Adversary for FixedDelay {
 
     fn message_delay(&mut self, _view: &SimView<'_>, _from: ProcId, _to: ProcId) -> u64 {
         self.d
+    }
+
+    fn delivery(&self) -> Delivery {
+        Delivery::UniformBroadcast
     }
 }
 
@@ -135,6 +143,10 @@ impl Adversary for StageAligned {
 
     fn message_delay(&mut self, view: &SimView<'_>, _from: ProcId, _to: ProcId) -> u64 {
         self.next_boundary(view.now) - view.now
+    }
+
+    fn delivery(&self) -> Delivery {
+        Delivery::UniformBroadcast
     }
 }
 

@@ -7,7 +7,7 @@
 //! those patterns; the algorithms must handle them unchanged since they
 //! assume nothing about delay structure.
 
-use super::Adversary;
+use super::{Adversary, Delivery};
 use crate::{Mailboxes, SimView};
 use doall_core::{DoAllProcess, ProcId};
 
@@ -58,6 +58,10 @@ impl Adversary for BurstyDelay {
         } else {
             1
         }
+    }
+
+    fn delivery(&self) -> Delivery {
+        Delivery::UniformBroadcast
     }
 }
 
@@ -130,6 +134,10 @@ impl Adversary for Stragglers {
 
     fn message_delay(&mut self, view: &SimView<'_>, from: ProcId, to: ProcId) -> u64 {
         self.inner.message_delay(view, from, to)
+    }
+
+    fn delivery(&self) -> Delivery {
+        self.inner.delivery()
     }
 }
 

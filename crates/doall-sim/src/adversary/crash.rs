@@ -1,6 +1,6 @@
 //! Crash failures layered over another adversary.
 
-use super::Adversary;
+use super::{Adversary, Delivery};
 use crate::{Mailboxes, SimView};
 use doall_core::{DoAllProcess, ProcId};
 
@@ -89,6 +89,10 @@ impl Adversary for CrashSchedule {
 
     fn message_delay(&mut self, view: &SimView<'_>, from: ProcId, to: ProcId) -> u64 {
         self.inner.message_delay(view, from, to)
+    }
+
+    fn delivery(&self) -> Delivery {
+        self.inner.delivery()
     }
 }
 

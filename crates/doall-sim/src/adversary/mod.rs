@@ -26,6 +26,35 @@ pub use slow::{RandomSubset, RoundRobin};
 use crate::{Mailboxes, SimView};
 use doall_core::{DoAllProcess, ProcId};
 
+/// How an adversary exercises its delay power — which delivery engine
+/// the simulator may use.
+///
+/// This is a *promise made by the adversary*, checked nowhere: declaring
+/// [`UniformBroadcast`](Self::UniformBroadcast) without honouring its
+/// contract silently changes executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Delivery {
+    /// The general case (and the default): delays may differ per
+    /// recipient, or depend on adversary state advanced per
+    /// [`message_delay`](Adversary::message_delay) call (seeded RNGs), or
+    /// the adversary inspects pending mailboxes when scheduling. The
+    /// simulator materializes one in-flight message per recipient and
+    /// calls `message_delay` once per `(from, to)` pair, in recipient
+    /// order.
+    #[default]
+    PerRecipient,
+    /// The adversary promises that (1) `message_delay` is a pure
+    /// function of the view and the sender — the same value for every
+    /// recipient of a broadcast, with no per-call state advanced — and
+    /// (2) its scheduling never reads the mailboxes. The simulator may
+    /// then call `message_delay` once per broadcast and deliver full
+    /// broadcasts through the shared [`crate::BroadcastBus`], which
+    /// stores each payload once and coalesces same-instant broadcasts by
+    /// union instead of materializing `p − 1` envelopes. Work, message,
+    /// and σ accounting are unchanged — only the delivery engine is.
+    UniformBroadcast,
+}
+
 /// An omniscient, adaptive d-adversary.
 ///
 /// Both powers default to the benign choice (everyone steps, minimal
@@ -64,6 +93,18 @@ pub trait Adversary: Send {
     fn message_delay(&mut self, view: &SimView<'_>, from: ProcId, to: ProcId) -> u64 {
         let _ = (view, from, to);
         1
+    }
+
+    /// Which delivery engine this adversary's promises allow (see
+    /// [`Delivery`]). Defaults to the fully general
+    /// [`Delivery::PerRecipient`]; adversaries whose delays are
+    /// recipient-oblivious and stateless, and whose scheduling ignores
+    /// the mailboxes, should return
+    /// [`Delivery::UniformBroadcast`] to unlock the zero-copy broadcast
+    /// bus. Wrappers that delegate `message_delay` to an inner adversary
+    /// must delegate this too.
+    fn delivery(&self) -> Delivery {
+        Delivery::PerRecipient
     }
 }
 

@@ -1,6 +1,6 @@
 //! Step-scheduling adversaries: disparate processor speeds.
 
-use super::Adversary;
+use super::{Adversary, Delivery};
 use crate::{Mailboxes, SimView};
 use doall_core::{DoAllProcess, ProcId};
 use rand::rngs::StdRng;
@@ -60,6 +60,10 @@ impl Adversary for RoundRobin {
 
     fn message_delay(&mut self, view: &SimView<'_>, from: ProcId, to: ProcId) -> u64 {
         self.inner.message_delay(view, from, to)
+    }
+
+    fn delivery(&self) -> Delivery {
+        self.inner.delivery()
     }
 }
 
@@ -125,6 +129,10 @@ impl Adversary for RandomSubset {
 
     fn message_delay(&mut self, view: &SimView<'_>, from: ProcId, to: ProcId) -> u64 {
         self.inner.message_delay(view, from, to)
+    }
+
+    fn delivery(&self) -> Delivery {
+        self.inner.delivery()
     }
 }
 

@@ -41,8 +41,8 @@ mod sim;
 mod trace;
 mod view;
 
-pub use adversary::Adversary;
-pub use network::Mailboxes;
-pub use sim::{Simulation, DEFAULT_MAX_TICKS};
-pub use trace::{Trace, TraceEvent};
+pub use adversary::{Adversary, Delivery};
+pub use network::{BroadcastBus, Mailboxes};
+pub use sim::{Simulation, SimulationBuilder, DEFAULT_MAX_TICKS};
+pub use trace::{Trace, TraceEvent, TraceMode};
 pub use view::SimView;

@@ -1,7 +1,9 @@
 //! The simulation driver: executes a Do-All algorithm against an adversary
 //! and produces a [`RunReport`].
 
-use crate::{Adversary, Mailboxes, SimView, Trace, TraceEvent};
+use crate::adversary::Delivery;
+use crate::trace::{NoTrace, Recorder};
+use crate::{Adversary, BroadcastBus, Mailboxes, SimView, Trace, TraceEvent, TraceMode};
 use doall_core::{
     BitSet, DoAllProcess, Instance, Message, MessageTally, ProcId, RunReport, WorkTally,
 };
@@ -10,7 +12,7 @@ use std::sync::Arc;
 /// Default safety cutoff: ticks after which a run is abandoned as
 /// non-terminating (the adversary can always prevent termination by
 /// freezing everyone; a report with `completed == false` is returned).
-/// Override per run with [`Simulation::max_ticks`] — lower-bound
+/// Override per run with [`SimulationBuilder::max_ticks`] — lower-bound
 /// experiments shorten it, long sweeps raise it.
 pub const DEFAULT_MAX_TICKS: u64 = 2_000_000;
 
@@ -24,6 +26,10 @@ pub const DEFAULT_MAX_TICKS: u64 = 2_000_000;
 /// for σ: the first time at which all tasks have been performed *and* some
 /// processor knows it. Work and messages are counted up to and including
 /// time σ, matching Definitions 2.1 and 2.2.
+///
+/// Construct via [`Simulation::builder`]; tracing is opt-in through
+/// [`TraceMode`], and the trace-free instantiation of the inner loop
+/// contains no recording code at all.
 ///
 /// # Example
 ///
@@ -49,12 +55,11 @@ pub const DEFAULT_MAX_TICKS: u64 = 2_000_000;
 /// }
 ///
 /// let instance = Instance::new(1, 10).unwrap();
-/// let report = Simulation::new(
-///     instance,
-///     vec![Box::new(Sweep { t: 10, next: 0 })],
-///     Box::new(UnitDelay),
-/// )
-/// .run();
+/// let report = Simulation::builder(instance)
+///     .procs(vec![Box::new(Sweep { t: 10, next: 0 })])
+///     .adversary(Box::new(UnitDelay))
+///     .build()
+///     .run();
 /// assert!(report.completed);
 /// assert_eq!(report.work, 10);
 /// ```
@@ -63,7 +68,7 @@ pub struct Simulation {
     procs: Vec<Box<dyn DoAllProcess>>,
     adversary: Box<dyn Adversary>,
     max_ticks: u64,
-    trace: Option<Trace>,
+    trace: TraceMode,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -76,39 +81,130 @@ impl std::fmt::Debug for Simulation {
     }
 }
 
-impl Simulation {
-    /// Creates a simulation of `procs` (one state machine per processor of
-    /// `instance`) against `adversary`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `procs.len() != instance.processors()`.
-    #[must_use]
-    pub fn new(
-        instance: Instance,
-        procs: Vec<Box<dyn DoAllProcess>>,
-        adversary: Box<dyn Adversary>,
-    ) -> Self {
-        assert_eq!(
-            procs.len(),
-            instance.processors(),
-            "need exactly one state machine per processor"
-        );
-        Self {
-            instance,
-            procs,
-            adversary,
-            max_ticks: DEFAULT_MAX_TICKS,
-            trace: None,
-        }
+/// Configures and constructs a [`Simulation`].
+///
+/// Obtained from [`Simulation::builder`]. `procs` and `adversary` are
+/// mandatory; `max_ticks` defaults to [`DEFAULT_MAX_TICKS`] and `trace`
+/// to [`TraceMode::Off`].
+#[must_use = "call .build() to obtain a Simulation"]
+pub struct SimulationBuilder {
+    instance: Instance,
+    procs: Option<Vec<Box<dyn DoAllProcess>>>,
+    adversary: Option<Box<dyn Adversary>>,
+    max_ticks: u64,
+    trace: TraceMode,
+}
+
+impl std::fmt::Debug for SimulationBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulationBuilder")
+            .field("instance", &self.instance)
+            .field("max_ticks", &self.max_ticks)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SimulationBuilder {
+    /// The processor state machines, one per processor of the instance.
+    pub fn procs(mut self, procs: Vec<Box<dyn DoAllProcess>>) -> Self {
+        self.procs = Some(procs);
+        self
     }
 
-    /// Sets the tick cutoff after which the run is abandoned (returning
+    /// The adversary driving schedules and message delays.
+    pub fn adversary(mut self, adversary: Box<dyn Adversary>) -> Self {
+        self.adversary = Some(adversary);
+        self
+    }
+
+    /// Tick cutoff after which the run is abandoned (returning
     /// `completed == false`). Defaults to [`DEFAULT_MAX_TICKS`].
-    #[must_use]
     pub fn max_ticks(mut self, ticks: u64) -> Self {
         self.max_ticks = ticks;
         self
+    }
+
+    /// Event-trace mode. Defaults to [`TraceMode::Off`], which compiles
+    /// to a trace-free inner loop.
+    pub fn trace(mut self, mode: TraceMode) -> Self {
+        self.trace = mode;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `procs` or `adversary` was not provided, or if the
+    /// number of processor state machines does not match the instance.
+    #[must_use]
+    pub fn build(self) -> Simulation {
+        let procs = self.procs.expect("SimulationBuilder needs .procs(…)");
+        let adversary = self
+            .adversary
+            .expect("SimulationBuilder needs .adversary(…)");
+        assert_eq!(
+            procs.len(),
+            self.instance.processors(),
+            "need exactly one state machine per processor"
+        );
+        Simulation {
+            instance: self.instance,
+            procs,
+            adversary,
+            max_ticks: self.max_ticks,
+            trace: self.trace,
+        }
+    }
+}
+
+/// The recycled per-run scratch state: both delivery engines, the
+/// ground-truth task set, the work tally, and the inbox buffer. A batch
+/// resets one arena per replicate instead of reallocating any of it.
+struct SimArena {
+    mailboxes: Mailboxes,
+    bus: BroadcastBus,
+    tasks_done: BitSet,
+    work: WorkTally,
+    inbox: Vec<Message>,
+}
+
+impl SimArena {
+    fn new() -> Self {
+        Self {
+            mailboxes: Mailboxes::new(0),
+            bus: BroadcastBus::new(0),
+            tasks_done: BitSet::new(0),
+            work: WorkTally::new(0),
+            inbox: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self, processors: usize, tasks: usize) {
+        self.mailboxes.reset(processors);
+        self.bus.reset(processors);
+        if self.tasks_done.len() == tasks {
+            self.tasks_done.clear();
+        } else {
+            self.tasks_done = BitSet::new(tasks);
+        }
+        self.work.reset(processors);
+        self.inbox.clear();
+    }
+}
+
+impl Simulation {
+    /// Starts building a simulation of `instance`. Provide the processor
+    /// state machines and the adversary, then call
+    /// [`build`](SimulationBuilder::build).
+    pub fn builder(instance: Instance) -> SimulationBuilder {
+        SimulationBuilder {
+            instance,
+            procs: None,
+            adversary: None,
+            max_ticks: DEFAULT_MAX_TICKS,
+            trace: TraceMode::Off,
+        }
     }
 
     /// Batch entry point: runs `runs` independent executions of the same
@@ -122,45 +218,42 @@ impl Simulation {
     /// which is what makes batches reproducible and independent of any
     /// outer parallelism.
     ///
+    /// `procs_for` *fills* a recycled vector rather than returning a
+    /// fresh one, and every run reuses one arena (mailboxes, broadcast
+    /// bus, tallies, inbox scratch), so a batch's per-replicate
+    /// allocations are only what the algorithms themselves allocate.
+    /// Runs are untraced; reports are byte-identical to per-replicate
+    /// construction via [`Simulation::builder`].
+    ///
     /// # Panics
     ///
-    /// Panics if a factory returns the wrong number of processors (same
-    /// contract as [`Simulation::new`]).
+    /// Panics if a factory fills in the wrong number of processors (same
+    /// contract as [`SimulationBuilder::build`]).
     #[must_use]
     pub fn run_batch(
         instance: Instance,
         runs: u64,
         max_ticks: u64,
-        mut procs_for: impl FnMut(u64) -> Vec<Box<dyn DoAllProcess>>,
+        mut procs_for: impl FnMut(u64, &mut Vec<Box<dyn DoAllProcess>>),
         mut adversary_for: impl FnMut(u64) -> Box<dyn Adversary>,
     ) -> Vec<RunReport> {
+        let mut arena = SimArena::new();
+        let mut procs: Vec<Box<dyn DoAllProcess>> = Vec::new();
         (0..runs)
             .map(|seed| {
-                Simulation::new(instance, procs_for(seed), adversary_for(seed))
-                    .max_ticks(max_ticks)
-                    .run()
+                procs.clear();
+                procs_for(seed, &mut procs);
+                let mut adversary = adversary_for(seed);
+                execute(
+                    instance,
+                    &mut procs,
+                    adversary.as_mut(),
+                    max_ticks,
+                    &mut arena,
+                    &mut NoTrace,
+                )
             })
             .collect()
-    }
-
-    /// Enables event tracing, retaining at most `capacity` events.
-    #[must_use]
-    pub fn with_trace(mut self, capacity: usize) -> Self {
-        self.trace = Some(Trace::with_capacity(capacity));
-        self
-    }
-
-    /// Enables event tracing into an existing collector, reusing its
-    /// allocation (and keeping its capacity). The collector is cleared
-    /// first, so callers can hand the trace returned by a previous
-    /// [`run_traced`](Self::run_traced) straight back in — batch sweeps
-    /// recycle one buffer per worker instead of growing a fresh one per
-    /// replicate.
-    #[must_use]
-    pub fn with_trace_buffer(mut self, mut trace: Trace) -> Self {
-        trace.clear();
-        self.trace = Some(trace);
-        self
     }
 
     /// Runs the execution to σ (or the tick cutoff) and returns the
@@ -171,114 +264,244 @@ impl Simulation {
         self.run_traced().0
     }
 
-    /// Runs the execution, returning the report and the trace (if tracing
-    /// was enabled).
+    /// Runs the execution, returning the report and the trace (when a
+    /// recording [`TraceMode`] was selected at build time).
     #[must_use]
     pub fn run_traced(mut self) -> (RunReport, Option<Trace>) {
-        let p = self.instance.processors();
-        let t = self.instance.tasks();
-        let mut mailboxes = Mailboxes::new(p);
-        let mut tasks_done = BitSet::new(t);
-        let mut work = WorkTally::new(p);
-        let mut msgs = MessageTally::new();
-        let mut sigma: Option<u64> = None;
-        let mut now: u64 = 0;
-
-        while now < self.max_ticks {
-            let plan = {
-                let view = SimView {
-                    now,
-                    processors: p,
-                    tasks: t,
-                    tasks_done: &tasks_done,
-                };
-                self.adversary.schedule(&view, &self.procs, &mailboxes)
-            };
-            assert_eq!(plan.len(), p, "adversary must plan every processor");
-
-            let mut informed: Option<ProcId> = None;
-            #[allow(clippy::needless_range_loop)] // plan and procs are indexed in lockstep
-            for pid in 0..p {
-                if !plan[pid] {
-                    continue;
-                }
-                let inbox = mailboxes.drain_due(pid, now);
-                let outcome = self.procs[pid].step(&inbox);
-                work.charge(pid);
-
-                if let Some(task) = outcome.performed {
-                    tasks_done.insert(task.index());
-                }
-                if let Some(trace) = self.trace.as_mut() {
-                    trace.record(TraceEvent::Step {
-                        now,
-                        pid: ProcId::new(pid),
-                        performed: outcome.performed,
-                        broadcast: outcome.broadcast.is_some(),
-                    });
-                }
-                if let Some(bits) = outcome.broadcast {
-                    let recipients: Vec<usize> = match outcome.targets {
-                        Some(targets) => targets
-                            .into_iter()
-                            .map(doall_core::ProcId::index)
-                            .filter(|&to| to != pid && to < p)
-                            .collect(),
-                        None => (0..p).filter(|&to| to != pid).collect(),
-                    };
-                    msgs.charge(recipients.len() as u64);
-                    if let Some(trace) = self.trace.as_mut() {
-                        trace.record(TraceEvent::Send {
-                            now,
-                            from: ProcId::new(pid),
-                            recipients: recipients.len(),
-                        });
-                    }
-                    let from = ProcId::new(pid);
-                    for to in recipients {
-                        let view = SimView {
-                            now,
-                            processors: p,
-                            tasks: t,
-                            tasks_done: &tasks_done,
-                        };
-                        let delay = self.adversary.message_delay(&view, from, ProcId::new(to));
-                        assert!(delay >= 1, "message delays are at least one time unit");
-                        // Zero-copy fan-out: every recipient's envelope
-                        // shares the one payload allocation (`p − 1`
-                        // refcount bumps instead of `p − 1` BitSet clones).
-                        mailboxes.push(to, now + delay, Message::new(from, Arc::clone(&bits)));
-                    }
-                }
-                if informed.is_none() && self.procs[pid].knows_all_done() {
-                    informed = Some(ProcId::new(pid));
-                }
-            }
-
-            if let Some(pid) = informed {
-                // σ per Definition 2.1: every step completed at time σ is
-                // still charged (the loop above ran the whole tick).
-                assert!(
-                    tasks_done.is_full(),
-                    "processor {pid} claims completion but tasks remain — algorithm bug"
+        let mut arena = SimArena::new();
+        let max_ticks = self.max_ticks;
+        match self.trace {
+            TraceMode::Off => {
+                let report = execute(
+                    self.instance,
+                    &mut self.procs,
+                    self.adversary.as_mut(),
+                    max_ticks,
+                    &mut arena,
+                    &mut NoTrace,
                 );
-                sigma = Some(now);
-                if let Some(trace) = self.trace.as_mut() {
-                    trace.record(TraceEvent::Completed { now, informed: pid });
-                }
-                break;
+                (report, None)
             }
-            now += 1;
+            TraceMode::Buffered(capacity) => {
+                let mut trace = Trace::with_capacity(capacity);
+                let report = execute(
+                    self.instance,
+                    &mut self.procs,
+                    self.adversary.as_mut(),
+                    max_ticks,
+                    &mut arena,
+                    &mut trace,
+                );
+                (report, Some(trace))
+            }
+            TraceMode::Recycled(ref mut buffer) => {
+                let mut trace = std::mem::replace(buffer, Trace::with_capacity(0));
+                trace.clear();
+                let report = execute(
+                    self.instance,
+                    &mut self.procs,
+                    self.adversary.as_mut(),
+                    max_ticks,
+                    &mut arena,
+                    &mut trace,
+                );
+                (report, Some(trace))
+            }
+        }
+    }
+}
+
+/// The inner loop, monomorphized over the recorder: the
+/// [`TraceMode::Off`] instantiation (`R = NoTrace`) contains no event
+/// construction or recording branches at all.
+fn execute<R: Recorder>(
+    instance: Instance,
+    procs: &mut [Box<dyn DoAllProcess>],
+    adversary: &mut dyn Adversary,
+    max_ticks: u64,
+    arena: &mut SimArena,
+    rec: &mut R,
+) -> RunReport {
+    let p = instance.processors();
+    let t = instance.tasks();
+    assert_eq!(
+        procs.len(),
+        p,
+        "need exactly one state machine per processor"
+    );
+    arena.reset(p, t);
+    let delivery = adversary.delivery();
+    let mut msgs = MessageTally::new();
+    let mut sigma: Option<u64> = None;
+    let mut now: u64 = 0;
+
+    while now < max_ticks {
+        let plan = {
+            let view = SimView {
+                now,
+                processors: p,
+                tasks: t,
+                tasks_done: &arena.tasks_done,
+            };
+            adversary.schedule(&view, procs, &arena.mailboxes)
+        };
+        assert_eq!(plan.len(), p, "adversary must plan every processor");
+
+        let mut informed: Option<ProcId> = None;
+        #[allow(clippy::needless_range_loop)] // plan and procs are indexed in lockstep
+        for pid in 0..p {
+            if !plan[pid] {
+                continue;
+            }
+            arena.inbox.clear();
+            if delivery == Delivery::UniformBroadcast {
+                arena.bus.deliver_into(pid, now, &mut arena.inbox);
+            }
+            arena.mailboxes.drain_due_into(pid, now, &mut arena.inbox);
+            let outcome = procs[pid].step(&arena.inbox);
+            arena.work.charge(pid);
+
+            if let Some(task) = outcome.performed {
+                arena.tasks_done.insert(task.index());
+            }
+            if R::ENABLED {
+                rec.record(TraceEvent::Step {
+                    now,
+                    pid: ProcId::new(pid),
+                    performed: outcome.performed,
+                    broadcast: outcome.broadcast.is_some(),
+                });
+            }
+            if let Some(bits) = outcome.broadcast {
+                let from = ProcId::new(pid);
+                match outcome.targets {
+                    None => {
+                        // Full broadcast: `p − 1` messages charged either
+                        // way; the delivery engine differs.
+                        let recipients = p - 1;
+                        msgs.charge(recipients as u64);
+                        if R::ENABLED {
+                            rec.record(TraceEvent::Send {
+                                now,
+                                from,
+                                recipients,
+                            });
+                        }
+                        if recipients > 0 {
+                            match delivery {
+                                Delivery::UniformBroadcast => {
+                                    // One delay per broadcast (the
+                                    // adversary promised it is
+                                    // recipient-oblivious), one shared
+                                    // payload on the bus.
+                                    let view = SimView {
+                                        now,
+                                        processors: p,
+                                        tasks: t,
+                                        tasks_done: &arena.tasks_done,
+                                    };
+                                    let delay = adversary.message_delay(
+                                        &view,
+                                        from,
+                                        ProcId::new((pid + 1) % p),
+                                    );
+                                    assert!(
+                                        delay >= 1,
+                                        "message delays are at least one time unit"
+                                    );
+                                    arena.bus.push(from, now + delay, &bits);
+                                }
+                                Delivery::PerRecipient => {
+                                    for to in (0..p).filter(|&to| to != pid) {
+                                        let view = SimView {
+                                            now,
+                                            processors: p,
+                                            tasks: t,
+                                            tasks_done: &arena.tasks_done,
+                                        };
+                                        let delay =
+                                            adversary.message_delay(&view, from, ProcId::new(to));
+                                        assert!(
+                                            delay >= 1,
+                                            "message delays are at least one time unit"
+                                        );
+                                        // Zero-copy fan-out: every
+                                        // envelope shares the one payload
+                                        // allocation.
+                                        arena.mailboxes.push(
+                                            to,
+                                            now + delay,
+                                            Message::new(from, Arc::clone(&bits)),
+                                        );
+                                    }
+                                }
+                            }
+                        }
+                    }
+                    Some(targets) => {
+                        // Multicast (gossip): recipient sets are partial,
+                        // so delivery is always materialized exactly.
+                        let recipients = targets
+                            .iter()
+                            .filter(|to| to.index() != pid && to.index() < p)
+                            .count();
+                        msgs.charge(recipients as u64);
+                        if R::ENABLED {
+                            rec.record(TraceEvent::Send {
+                                now,
+                                from,
+                                recipients,
+                            });
+                        }
+                        for to in targets
+                            .into_iter()
+                            .map(ProcId::index)
+                            .filter(|&to| to != pid && to < p)
+                        {
+                            let view = SimView {
+                                now,
+                                processors: p,
+                                tasks: t,
+                                tasks_done: &arena.tasks_done,
+                            };
+                            let delay = adversary.message_delay(&view, from, ProcId::new(to));
+                            assert!(delay >= 1, "message delays are at least one time unit");
+                            arena.mailboxes.push(
+                                to,
+                                now + delay,
+                                Message::new(from, Arc::clone(&bits)),
+                            );
+                        }
+                    }
+                }
+            }
+            if informed.is_none() && procs[pid].knows_all_done() {
+                informed = Some(ProcId::new(pid));
+            }
         }
 
-        let report = RunReport {
-            work: work.total(),
-            messages: msgs.total(),
-            sigma,
-            completed: tasks_done.is_full() && sigma.is_some(),
-            work_per_processor: work.per_processor().to_vec(),
-        };
-        (report, self.trace)
+        if let Some(pid) = informed {
+            // σ per Definition 2.1: every step completed at time σ is
+            // still charged (the loop above ran the whole tick).
+            assert!(
+                arena.tasks_done.is_full(),
+                "processor {pid} claims completion but tasks remain — algorithm bug"
+            );
+            sigma = Some(now);
+            if R::ENABLED {
+                rec.record(TraceEvent::Completed { now, informed: pid });
+            }
+            break;
+        }
+        now += 1;
+    }
+
+    RunReport {
+        work: arena.work.total(),
+        messages: msgs.total(),
+        sigma,
+        completed: arena.tasks_done.is_full() && sigma.is_some(),
+        work_per_processor: arena.work.per_processor().to_vec(),
     }
 }
 
@@ -330,10 +553,21 @@ mod tests {
             .collect()
     }
 
+    fn sim(
+        instance: Instance,
+        procs: Vec<Box<dyn DoAllProcess>>,
+        adversary: Box<dyn Adversary>,
+    ) -> Simulation {
+        Simulation::builder(instance)
+            .procs(procs)
+            .adversary(adversary)
+            .build()
+    }
+
     #[test]
     fn solo_sweep_work_equals_t() {
         let instance = Instance::new(1, 25).unwrap();
-        let report = Simulation::new(instance, sweep_procs(1, 25), Box::new(UnitDelay)).run();
+        let report = sim(instance, sweep_procs(1, 25), Box::new(UnitDelay)).run();
         assert!(report.completed);
         assert_eq!(report.work, 25);
         assert_eq!(report.sigma, Some(24), "σ is the tick of the last task");
@@ -344,7 +578,7 @@ mod tests {
     fn parallel_sweeps_charge_everyone_until_sigma() {
         // Two identical sweeps: both finish at tick t−1, work = 2t.
         let instance = Instance::new(2, 10).unwrap();
-        let report = Simulation::new(instance, sweep_procs(2, 10), Box::new(UnitDelay)).run();
+        let report = sim(instance, sweep_procs(2, 10), Box::new(UnitDelay)).run();
         assert!(report.completed);
         assert_eq!(report.work, 20);
         assert_eq!(report.work_per_processor, vec![10, 10]);
@@ -370,8 +604,11 @@ mod tests {
             }
         }
         let instance = Instance::new(1, 3).unwrap();
-        let report = Simulation::new(instance, vec![Box::new(Idler)], Box::new(UnitDelay))
+        let report = Simulation::builder(instance)
+            .procs(vec![Box::new(Idler)])
+            .adversary(Box::new(UnitDelay))
             .max_ticks(50)
+            .build()
             .run();
         assert!(!report.completed);
         assert_eq!(report.sigma, None);
@@ -420,7 +657,7 @@ mod tests {
                 }) as Box<dyn DoAllProcess>
             })
             .collect();
-        let report = Simulation::new(instance, procs, Box::new(FixedDelay::new(4))).run();
+        let report = sim(instance, procs, Box::new(FixedDelay::new(4))).run();
         assert!(report.completed);
         assert_eq!(report.messages, 2, "one broadcast to p−1 = 2 recipients");
         // Proc 0 knows at tick 0 → σ = 0 and only tick 0 is charged.
@@ -474,8 +711,8 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         let instance = Instance::new(2, 1).unwrap();
-        let fast = Simulation::new(instance, mk(), Box::new(FixedDelay::new(1))).run();
-        let slow = Simulation::new(instance, mk(), Box::new(FixedDelay::new(10))).run();
+        let fast = sim(instance, mk(), Box::new(FixedDelay::new(1))).run();
+        let slow = sim(instance, mk(), Box::new(FixedDelay::new(10))).run();
         // Broadcast at tick 0; delivered at tick d; receiver knows at d.
         assert_eq!(fast.sigma, Some(1));
         assert_eq!(slow.sigma, Some(10));
@@ -485,8 +722,11 @@ mod tests {
     #[test]
     fn trace_records_key_events() {
         let instance = Instance::new(1, 2).unwrap();
-        let (report, trace) = Simulation::new(instance, sweep_procs(1, 2), Box::new(UnitDelay))
-            .with_trace(64)
+        let (report, trace) = Simulation::builder(instance)
+            .procs(sweep_procs(1, 2))
+            .adversary(Box::new(UnitDelay))
+            .trace(TraceMode::Buffered(64))
+            .build()
             .run_traced();
         assert!(report.completed);
         let trace = trace.unwrap();
@@ -503,13 +743,56 @@ mod tests {
     }
 
     #[test]
+    fn recycled_trace_keeps_capacity_and_is_reused() {
+        let instance = Instance::new(1, 2).unwrap();
+        let buffer = Trace::with_capacity(64);
+        let (_, trace) = Simulation::builder(instance)
+            .procs(sweep_procs(1, 2))
+            .adversary(Box::new(UnitDelay))
+            .trace(TraceMode::Recycled(buffer))
+            .build()
+            .run_traced();
+        let trace = trace.unwrap();
+        assert_eq!(trace.capacity(), 64);
+        assert!(!trace.events().is_empty());
+        // Hand it straight back in: cleared on entry, same capacity out.
+        let (_, trace2) = Simulation::builder(instance)
+            .procs(sweep_procs(1, 2))
+            .adversary(Box::new(UnitDelay))
+            .trace(TraceMode::Recycled(trace))
+            .build()
+            .run_traced();
+        let trace2 = trace2.unwrap();
+        assert_eq!(trace2.capacity(), 64);
+        assert_eq!(trace2.dropped(), 0);
+    }
+
+    #[test]
+    fn off_and_buffered_produce_identical_reports() {
+        let instance = Instance::new(4, 16).unwrap();
+        let off = Simulation::builder(instance)
+            .procs(sweep_procs(4, 16))
+            .adversary(Box::new(FixedDelay::new(3)))
+            .build()
+            .run();
+        let (buffered, trace) = Simulation::builder(instance)
+            .procs(sweep_procs(4, 16))
+            .adversary(Box::new(FixedDelay::new(3)))
+            .trace(TraceMode::Buffered(1 << 16))
+            .build()
+            .run_traced();
+        assert_eq!(off, buffered, "tracing must never perturb a run");
+        assert!(trace.is_some());
+    }
+
+    #[test]
     fn run_batch_returns_reports_in_seed_order() {
         let instance = Instance::new(1, 5).unwrap();
         let reports = Simulation::run_batch(
             instance,
             3,
             1_000,
-            |_| sweep_procs(1, 5),
+            |_, procs| procs.extend(sweep_procs(1, 5)),
             |seed| Box::new(FixedDelay::new(seed + 1)),
         );
         assert_eq!(reports.len(), 3);
@@ -518,10 +801,33 @@ mod tests {
     }
 
     #[test]
+    fn run_batch_matches_per_replicate_construction() {
+        let instance = Instance::new(2, 8).unwrap();
+        let batched = Simulation::run_batch(
+            instance,
+            4,
+            1_000,
+            |_, procs| procs.extend(sweep_procs(2, 8)),
+            |seed| Box::new(FixedDelay::new(seed + 1)),
+        );
+        let individual: Vec<RunReport> = (0..4)
+            .map(|seed| {
+                Simulation::builder(instance)
+                    .procs(sweep_procs(2, 8))
+                    .adversary(Box::new(FixedDelay::new(seed + 1)))
+                    .max_ticks(1_000)
+                    .build()
+                    .run()
+            })
+            .collect();
+        assert_eq!(batched, individual, "arena recycling must not leak state");
+    }
+
+    #[test]
     fn determinism_same_procs_same_adversary() {
         let instance = Instance::new(2, 8).unwrap();
-        let a = Simulation::new(instance, sweep_procs(2, 8), Box::new(FixedDelay::new(3))).run();
-        let b = Simulation::new(instance, sweep_procs(2, 8), Box::new(FixedDelay::new(3))).run();
+        let a = sim(instance, sweep_procs(2, 8), Box::new(FixedDelay::new(3))).run();
+        let b = sim(instance, sweep_procs(2, 8), Box::new(FixedDelay::new(3))).run();
         assert_eq!(a, b);
     }
 
@@ -529,6 +835,15 @@ mod tests {
     #[should_panic(expected = "one state machine per processor")]
     fn proc_count_mismatch_panics() {
         let instance = Instance::new(2, 1).unwrap();
-        let _ = Simulation::new(instance, sweep_procs(1, 1), Box::new(UnitDelay));
+        let _ = sim(instance, sweep_procs(1, 1), Box::new(UnitDelay));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs .adversary(")]
+    fn missing_adversary_panics() {
+        let instance = Instance::new(1, 1).unwrap();
+        let _ = Simulation::builder(instance)
+            .procs(sweep_procs(1, 1))
+            .build();
     }
 }

@@ -35,6 +35,61 @@ pub enum TraceEvent {
     },
 }
 
+/// Whether (and into what) a simulation records its event trace.
+///
+/// Chosen at build time via `SimulationBuilder::trace`. `Off` is not
+/// merely "record nothing": the simulator monomorphizes its inner loop on
+/// the recorder, so the trace-free instantiation contains no per-event
+/// branches or event construction at all.
+#[derive(Debug, Default)]
+pub enum TraceMode {
+    /// No trace. The default, and the fast path: the inner loop is
+    /// compiled without any recording code.
+    #[default]
+    Off,
+    /// Record into a fresh collector retaining at most this many events.
+    Buffered(usize),
+    /// Record into an existing collector, reusing its allocation (and
+    /// keeping its capacity). The collector is cleared first, so callers
+    /// hand the trace returned by a previous `run_traced` straight back
+    /// in — batch sweeps recycle one buffer per worker instead of growing
+    /// a fresh multi-million-entry buffer per replicate.
+    Recycled(Trace),
+}
+
+/// The compile-time recording hook the simulation loop is monomorphized
+/// over: one instantiation per variant, so `TraceMode::Off` yields an
+/// inner loop with no recording code at all (`ENABLED` is a constant the
+/// optimizer folds away, together with the event construction feeding
+/// `record`).
+pub(crate) trait Recorder {
+    /// Whether this recorder keeps events — `false` compiles recording
+    /// sites out entirely.
+    const ENABLED: bool;
+
+    /// Consumes one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// The `TraceMode::Off` recorder: a no-op the optimizer erases.
+pub(crate) struct NoTrace;
+
+impl Recorder for NoTrace {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn record(&mut self, _event: TraceEvent) {}
+}
+
+impl Recorder for Trace {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn record(&mut self, event: TraceEvent) {
+        Trace::record(self, event);
+    }
+}
+
 /// A bounded in-memory trace collector.
 ///
 /// Traces are for debugging and the examples; complexity measurements never
@@ -69,8 +124,8 @@ impl Trace {
 
     /// Empties the collector for reuse, keeping the event allocation and
     /// the capacity. Long trace-mode sweeps hand one collector from run
-    /// to run (see `Simulation::with_trace_buffer`) instead of growing a
-    /// fresh multi-million-entry buffer per replicate.
+    /// to run (see [`TraceMode::Recycled`]) instead of growing a fresh
+    /// multi-million-entry buffer per replicate.
     pub fn clear(&mut self) {
         self.events.clear();
         self.dropped = 0;

@@ -26,14 +26,17 @@ fn main() -> Result<(), doall::CoreError> {
 
     let da = algorithms::Da::with_default_schedules(3, 0);
     for d in [1u64, 4, 16, 64, 256] {
-        let benign = Simulation::new(instance, da.spawn(instance), Box::new(UnitDelay)).run();
-        let attacked = Simulation::new(
-            instance,
-            da.spawn(instance),
-            Box::new(LowerBoundAdversary::new(d, t)),
-        )
-        .max_ticks(10_000_000)
-        .run();
+        let benign = Simulation::builder(instance)
+            .procs(da.spawn(instance))
+            .adversary(Box::new(UnitDelay))
+            .build()
+            .run();
+        let attacked = Simulation::builder(instance)
+            .procs(da.spawn(instance))
+            .adversary(Box::new(LowerBoundAdversary::new(d, t)))
+            .max_ticks(10_000_000)
+            .build()
+            .run();
         assert!(attacked.completed);
         let lb = bounds::lower_bound_work(p, t, d);
         println!(
@@ -55,14 +58,17 @@ fn main() -> Result<(), doall::CoreError> {
     );
     for d in [1u64, 8, 64] {
         let pa = PaRan2::new(3);
-        let benign = Simulation::new(instance, pa.spawn(instance), Box::new(UnitDelay)).run();
-        let attacked = Simulation::new(
-            instance,
-            pa.spawn(instance),
-            Box::new(RandomizedLbAdversary::new(d, t, 17)),
-        )
-        .max_ticks(10_000_000)
-        .run();
+        let benign = Simulation::builder(instance)
+            .procs(pa.spawn(instance))
+            .adversary(Box::new(UnitDelay))
+            .build()
+            .run();
+        let attacked = Simulation::builder(instance)
+            .procs(pa.spawn(instance))
+            .adversary(Box::new(RandomizedLbAdversary::new(d, t, 17)))
+            .max_ticks(10_000_000)
+            .build()
+            .run();
         assert!(attacked.completed);
         println!(
             "{d:>6} {:>12} {:>12} {:>12.0}",

@@ -40,13 +40,12 @@ fn main() -> Result<(), doall::CoreError> {
     while d <= t as u64 {
         print!("{d:>6}");
         for algo in &algos {
-            let report = Simulation::new(
-                instance,
-                algo.spawn(instance),
-                Box::new(StageAligned::new(d)),
-            )
-            .max_ticks(5_000_000)
-            .run();
+            let report = Simulation::builder(instance)
+                .procs(algo.spawn(instance))
+                .adversary(Box::new(StageAligned::new(d)))
+                .max_ticks(5_000_000)
+                .build()
+                .run();
             assert!(report.completed, "{} at d={d}", algo.name());
             print!(
                 "{:>11} ({:.2})",

@@ -30,8 +30,11 @@ fn main() -> Result<(), doall::CoreError> {
     // Scenario 1: healthy grid, jittery speeds (each node advances with
     // probability 0.7 per tick), random latency ≤ d.
     let jittery = RandomSubset::new(Box::new(RandomDelay::new(d, 5)), 0.7, 11);
-    let healthy = Simulation::new(instance, algorithm.spawn(instance), Box::new(jittery))
+    let healthy = Simulation::builder(instance)
+        .procs(algorithm.spawn(instance))
+        .adversary(Box::new(jittery))
         .max_ticks(2_000_000)
+        .build()
         .run();
     println!("healthy grid : {healthy}");
     println!(
@@ -41,8 +44,11 @@ fn main() -> Result<(), doall::CoreError> {
 
     // Scenario 2: catastrophic — all nodes except node 13 die at tick 40.
     let catastrophe = CrashSchedule::all_but_one(Box::new(RandomDelay::new(d, 5)), p, 13, 40);
-    let survivor = Simulation::new(instance, algorithm.spawn(instance), Box::new(catastrophe))
+    let survivor = Simulation::builder(instance)
+        .procs(algorithm.spawn(instance))
+        .adversary(Box::new(catastrophe))
         .max_ticks(5_000_000)
+        .build()
         .run();
     println!("\nlone survivor: {survivor}");
     println!("  (the survivor finishes everyone's work; Do-All tolerates any crash pattern with ≥1 survivor)");
@@ -51,13 +57,16 @@ fn main() -> Result<(), doall::CoreError> {
 
     // Scenario 3: compare against the oblivious baseline on the healthy
     // grid — the whole point of coordinating.
-    let solo = Simulation::new(
-        instance,
-        SoloAll::new().spawn(instance),
-        Box::new(RandomSubset::new(Box::new(RandomDelay::new(d, 5)), 0.7, 11)),
-    )
-    .max_ticks(2_000_000)
-    .run();
+    let solo = Simulation::builder(instance)
+        .procs(SoloAll::new().spawn(instance))
+        .adversary(Box::new(RandomSubset::new(
+            Box::new(RandomDelay::new(d, 5)),
+            0.7,
+            11,
+        )))
+        .max_ticks(2_000_000)
+        .build()
+        .run();
     println!(
         "\nSoloAll on the same grid: work = {} vs DA(3) work = {}",
         solo.work, healthy.work

@@ -35,10 +35,12 @@ fn main() -> Result<(), doall::CoreError> {
         3.0 * q as f64 * (1.0 + 0.5 + 1.0 / 3.0),
     );
 
-    let (report, trace) =
-        Simulation::new(instance, da.spawn(instance), Box::new(StageAligned::new(d)))
-            .with_trace(10_000)
-            .run_traced();
+    let (report, trace) = Simulation::builder(instance)
+        .procs(da.spawn(instance))
+        .adversary(Box::new(StageAligned::new(d)))
+        .trace(TraceMode::Buffered(10_000))
+        .build()
+        .run_traced();
     let trace = trace.expect("tracing enabled");
 
     println!("execution under a stage-aligned {d}-adversary:");

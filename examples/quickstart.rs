@@ -29,12 +29,11 @@ fn main() -> Result<(), doall::CoreError> {
     let algorithm = PaDet::random_for(instance, 42);
 
     // The adversary delays every message the full d units.
-    let report = Simulation::new(
-        instance,
-        algorithm.spawn(instance),
-        Box::new(FixedDelay::new(d)),
-    )
-    .run();
+    let report = Simulation::builder(instance)
+        .procs(algorithm.spawn(instance))
+        .adversary(Box::new(FixedDelay::new(d)))
+        .build()
+        .run();
 
     println!("{} under fixed delay {d}:", algorithm.name());
     println!("  completed : {}", report.completed);
@@ -56,12 +55,11 @@ fn main() -> Result<(), doall::CoreError> {
     );
 
     // Compare with the zero-communication baseline.
-    let solo = Simulation::new(
-        instance,
-        SoloAll::new().spawn(instance),
-        Box::new(UnitDelay),
-    )
-    .run();
+    let solo = Simulation::builder(instance)
+        .procs(SoloAll::new().spawn(instance))
+        .adversary(Box::new(UnitDelay))
+        .build()
+        .run();
     println!(
         "\nSoloAll baseline: work = {} (always exactly p·t)",
         solo.work

@@ -554,8 +554,11 @@ pub fn execute(command: &Command) -> Result<Outcome, CliError> {
             let instance =
                 Instance::new(spec.p, spec.t).map_err(|e| err(format!("bad instance: {e}")))?;
             let algo = spec.algorithm()?;
-            let report = Simulation::new(instance, algo.spawn(instance), spec.adversary()?)
+            let report = Simulation::builder(instance)
+                .procs(algo.spawn(instance))
+                .adversary(spec.adversary()?)
                 .max_ticks(50_000_000)
+                .build()
                 .run();
             println!(
                 "{} | p={} t={} d={} adversary={}",

@@ -47,12 +47,11 @@
 //! let algorithm = PaDet::random_for(instance, 42);
 //!
 //! // A 4-adversary that delays every message the full 4 time units.
-//! let report = Simulation::new(
-//!     instance,
-//!     algorithm.spawn(instance),
-//!     Box::new(FixedDelay::new(4)),
-//! )
-//! .run();
+//! let report = Simulation::builder(instance)
+//!     .procs(algorithm.spawn(instance))
+//!     .adversary(Box::new(FixedDelay::new(4)))
+//!     .build()
+//!     .run();
 //!
 //! assert!(report.completed);
 //! // Subquadratic: far below the oblivious p·t = 512.
@@ -103,7 +102,7 @@ pub mod prelude {
         BurstyDelay, CrashSchedule, FixedDelay, LowerBoundAdversary, RandomDelay, RandomSubset,
         RandomizedLbAdversary, RoundRobin, StageAligned, Stragglers, UnitDelay,
     };
-    pub use crate::sim::{Adversary, Simulation};
+    pub use crate::sim::{Adversary, Simulation, TraceMode};
     pub use crate::{Instance, RunReport};
 }
 
@@ -114,12 +113,11 @@ mod tests {
     #[test]
     fn facade_round_trip() {
         let instance = Instance::new(4, 16).unwrap();
-        let report = Simulation::new(
-            instance,
-            PaRan2::new(1).spawn(instance),
-            Box::new(UnitDelay),
-        )
-        .run();
+        let report = Simulation::builder(instance)
+            .procs(PaRan2::new(1).spawn(instance))
+            .adversary(Box::new(UnitDelay))
+            .build()
+            .run();
         assert!(report.completed);
     }
 }

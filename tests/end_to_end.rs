@@ -19,12 +19,11 @@ fn all_algorithms(instance: Instance, seed: u64) -> Vec<Box<dyn Algorithm>> {
 #[test]
 fn prelude_exposes_a_working_pipeline() {
     let instance = Instance::new(4, 20).unwrap();
-    let report = Simulation::new(
-        instance,
-        PaDet::random_for(instance, 0).spawn(instance),
-        Box::new(RandomDelay::new(3, 1)),
-    )
-    .run();
+    let report = Simulation::builder(instance)
+        .procs(PaDet::random_for(instance, 0).spawn(instance))
+        .adversary(Box::new(RandomDelay::new(3, 1)))
+        .build()
+        .run();
     assert!(report.completed);
     assert!(report.work >= 20);
 }
@@ -34,12 +33,11 @@ fn sigma_cutoff_stops_charging() {
     // With d large, σ for SoloAll is still t−1 ticks (no communication
     // involved), so work is exactly p·t whatever the adversary's delays.
     let instance = Instance::new(3, 15).unwrap();
-    let report = Simulation::new(
-        instance,
-        SoloAll::new().spawn(instance),
-        Box::new(FixedDelay::new(1000)),
-    )
-    .run();
+    let report = Simulation::builder(instance)
+        .procs(SoloAll::new().spawn(instance))
+        .adversary(Box::new(FixedDelay::new(1000)))
+        .build()
+        .run();
     assert_eq!(report.work, 45);
     assert_eq!(report.sigma, Some(14));
 }
@@ -50,12 +48,11 @@ fn work_respects_lower_bound_formula() {
     // step) and at least the per-execution trivial bounds.
     let instance = Instance::new(8, 32).unwrap();
     for algo in all_algorithms(instance, 2) {
-        let report = Simulation::new(
-            instance,
-            algo.spawn(instance),
-            Box::new(StageAligned::new(4)),
-        )
-        .run();
+        let report = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(StageAligned::new(4)))
+            .build()
+            .run();
         assert!(report.completed, "{}", algo.name());
         assert!(report.work >= 32, "{}: W ≥ t", algo.name());
     }
@@ -70,12 +67,11 @@ fn pa_work_within_paper_bound_shape() {
     let instance = Instance::new(p, t).unwrap();
     for d in [1u64, 2, 4, 8, 16] {
         let algo = PaDet::random_for(instance, 9);
-        let report = Simulation::new(
-            instance,
-            algo.spawn(instance),
-            Box::new(StageAligned::new(d)),
-        )
-        .run();
+        let report = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(StageAligned::new(d)))
+            .build()
+            .run();
         assert!(report.completed);
         let bound = bounds::pa_upper_bound(p, t, d);
         assert!(
@@ -98,12 +94,11 @@ fn lemma_6_1_work_at_most_d_contention() {
     let schedules = Schedules::random(p, t, 4);
     for d in [1u64, 2, 3, 6] {
         let algo = PaDet::new(schedules.clone());
-        let report = Simulation::new(
-            instance,
-            algo.spawn(instance),
-            Box::new(StageAligned::new(d)),
-        )
-        .run();
+        let report = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(StageAligned::new(d)))
+            .build()
+            .run();
         assert!(report.completed);
         let dcont = d_contention_of_list(schedules.as_slice(), d as usize);
         assert!(dcont.exact, "n = 6 permits exact evaluation");
@@ -126,12 +121,11 @@ fn quadratic_wall_at_large_d() {
     let instance = Instance::new(p, t).unwrap();
     let quadratic = (p * t) as u64;
     for algo in all_algorithms(instance, 6) {
-        let report = Simulation::new(
-            instance,
-            algo.spawn(instance),
-            Box::new(FixedDelay::new(2 * t as u64)),
-        )
-        .run();
+        let report = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(FixedDelay::new(2 * t as u64)))
+            .build()
+            .run();
         assert!(report.completed, "{}", algo.name());
         assert!(
             report.work >= quadratic / 4,
@@ -155,12 +149,11 @@ fn messages_within_p_times_work() {
     // Both families bound M by p·W (Theorems 5.6 and 6.2/6.3).
     let instance = Instance::new(8, 24).unwrap();
     for algo in all_algorithms(instance, 8) {
-        let report = Simulation::new(
-            instance,
-            algo.spawn(instance),
-            Box::new(RandomDelay::new(5, 3)),
-        )
-        .run();
+        let report = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(RandomDelay::new(5, 3)))
+            .build()
+            .run();
         assert!(report.completed);
         assert!(
             report.messages <= report.work * 8,
@@ -181,17 +174,19 @@ fn randomized_lb_adversary_hurts_paran() {
     let mut attacked_total = 0u64;
     for seed in 0..5 {
         let pa = PaRan2::new(seed);
-        benign_total += Simulation::new(instance, pa.spawn(instance), Box::new(UnitDelay))
+        benign_total += Simulation::builder(instance)
+            .procs(pa.spawn(instance))
+            .adversary(Box::new(UnitDelay))
+            .build()
             .run()
             .work;
-        attacked_total += Simulation::new(
-            instance,
-            pa.spawn(instance),
-            Box::new(RandomizedLbAdversary::new(8, t, seed)),
-        )
-        .max_ticks(2_000_000)
-        .run()
-        .work;
+        attacked_total += Simulation::builder(instance)
+            .procs(pa.spawn(instance))
+            .adversary(Box::new(RandomizedLbAdversary::new(8, t, seed)))
+            .max_ticks(2_000_000)
+            .build()
+            .run()
+            .work;
     }
     assert!(
         attacked_total > benign_total,
@@ -211,13 +206,12 @@ fn oblido_primary_executions_bounded_by_contention() {
     let cont = doall::perms::contention_of_list(schedules.as_slice());
     assert!(cont.exact);
     let algo = ObliDo::new(schedules);
-    let (report, trace) = Simulation::new(
-        instance,
-        algo.spawn(instance),
-        Box::new(StageAligned::new(3)),
-    )
-    .with_trace(100_000)
-    .run_traced();
+    let (report, trace) = Simulation::builder(instance)
+        .procs(algo.spawn(instance))
+        .adversary(Box::new(StageAligned::new(3)))
+        .trace(TraceMode::Buffered(100_000))
+        .build()
+        .run_traced();
     assert!(report.completed);
     let trace = trace.unwrap();
     let mut done = vec![false; n];
@@ -254,8 +248,11 @@ fn crash_storms_never_prevent_completion() {
         .collect();
     for algo in all_algorithms(instance, 12) {
         let adversary = CrashSchedule::new(Box::new(RandomDelay::new(4, 2)), crash_times.clone());
-        let report = Simulation::new(instance, algo.spawn(instance), Box::new(adversary))
+        let report = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(adversary))
             .max_ticks(1_000_000)
+            .build()
             .run();
         assert!(report.completed, "{}: {report}", algo.name());
     }

@@ -24,8 +24,11 @@ fn gossip_completes_under_all_adversaries() {
         ];
         for adversary in adversaries {
             let name = format!("{} vs {}", algo.name(), adversary.name());
-            let report = Simulation::new(instance, algo.spawn(instance), adversary)
+            let report = Simulation::builder(instance)
+                .procs(algo.spawn(instance))
+                .adversary(adversary)
                 .max_ticks(1_000_000)
+                .build()
                 .run();
             assert!(report.completed, "{name}: {report}");
         }
@@ -39,13 +42,12 @@ fn gossip_message_count_scales_with_fanout() {
     let instance = Instance::new(p, t).unwrap();
     let run = |fanout: usize| {
         let algo = PaGossip::new(5, fanout);
-        Simulation::new(
-            instance,
-            algo.spawn(instance),
-            Box::new(StageAligned::new(4)),
-        )
-        .max_ticks(1_000_000)
-        .run()
+        Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(StageAligned::new(4)))
+            .max_ticks(1_000_000)
+            .build()
+            .run()
     };
     let low = run(1);
     let high = run(8);
@@ -77,8 +79,11 @@ fn structured_schedules_run_padet() {
         ("random", Schedules::random(n, n, 1)),
     ] {
         let algo = PaDet::new(sched);
-        let report = Simulation::new(instance, algo.spawn(instance), Box::new(FixedDelay::new(3)))
+        let report = Simulation::builder(instance)
+            .procs(algo.spawn(instance))
+            .adversary(Box::new(FixedDelay::new(3)))
             .max_ticks(1_000_000)
+            .build()
             .run();
         assert!(report.completed, "{label}: {report}");
         assert!(report.work >= n as u64);
@@ -94,15 +99,21 @@ fn bursty_delay_is_between_unit_and_fixed() {
     let t = 16;
     let instance = Instance::new(p, t).unwrap();
     let algo = PaDet::random_for(instance, 2);
-    let calm = Simulation::new(instance, algo.spawn(instance), Box::new(FixedDelay::new(1))).run();
-    let bursty = Simulation::new(
-        instance,
-        algo.spawn(instance),
-        Box::new(BurstyDelay::new(8, 4)),
-    )
-    .run();
-    let congested =
-        Simulation::new(instance, algo.spawn(instance), Box::new(FixedDelay::new(8))).run();
+    let calm = Simulation::builder(instance)
+        .procs(algo.spawn(instance))
+        .adversary(Box::new(FixedDelay::new(1)))
+        .build()
+        .run();
+    let bursty = Simulation::builder(instance)
+        .procs(algo.spawn(instance))
+        .adversary(Box::new(BurstyDelay::new(8, 4)))
+        .build()
+        .run();
+    let congested = Simulation::builder(instance)
+        .procs(algo.spawn(instance))
+        .adversary(Box::new(FixedDelay::new(8)))
+        .build()
+        .run();
     assert!(calm.completed && bursty.completed && congested.completed);
     assert!(bursty.work >= calm.work);
     assert!(
@@ -120,8 +131,11 @@ fn stragglers_slow_time_not_work_ceiling() {
     // Half the processors advance once every 4 ticks.
     let slow: Vec<bool> = (0..p).map(|i| i % 2 == 0).collect();
     let adversary = Stragglers::new(Box::new(FixedDelay::new(2)), slow, 4);
-    let report = Simulation::new(instance, algo.spawn(instance), Box::new(adversary))
+    let report = Simulation::builder(instance)
+        .procs(algo.spawn(instance))
+        .adversary(Box::new(adversary))
         .max_ticks(1_000_000)
+        .build()
         .run();
     assert!(report.completed);
     // Stragglers stretch σ but work stays bounded by a small multiple of
@@ -135,13 +149,12 @@ fn execution_profile_quantifies_redundancy() {
     let p = 4;
     let t = 10;
     let instance = Instance::new(p, t).unwrap();
-    let (report, trace) = Simulation::new(
-        instance,
-        SoloAll::new().spawn(instance),
-        Box::new(UnitDelay),
-    )
-    .with_trace(1_000_000)
-    .run_traced();
+    let (report, trace) = Simulation::builder(instance)
+        .procs(SoloAll::new().spawn(instance))
+        .adversary(Box::new(UnitDelay))
+        .trace(TraceMode::Buffered(1_000_000))
+        .build()
+        .run_traced();
     assert!(report.completed);
     let profile = execution_profile(&trace.unwrap(), t);
     assert_eq!(profile.total_executions(), p * t);
@@ -157,13 +170,12 @@ fn execution_profile_quantifies_redundancy() {
     );
 
     // A cooperative algorithm on the same instance wastes far less.
-    let (report, trace) = Simulation::new(
-        instance,
-        PaDet::random_for(instance, 1).spawn(instance),
-        Box::new(UnitDelay),
-    )
-    .with_trace(1_000_000)
-    .run_traced();
+    let (report, trace) = Simulation::builder(instance)
+        .procs(PaDet::random_for(instance, 1).spawn(instance))
+        .adversary(Box::new(UnitDelay))
+        .trace(TraceMode::Buffered(1_000_000))
+        .build()
+        .run_traced();
     assert!(report.completed);
     let coop = execution_profile(&trace.unwrap(), t);
     assert!(

@@ -49,9 +49,7 @@ proptest! {
         let algo = algorithm(algo_pick, instance, seed);
         let adv = adversary(adv_pick, d, t, seed);
         let name = format!("{} vs {} p={p} t={t} d={d}", algo.name(), adv.name());
-        let report = Simulation::new(instance, algo.spawn(instance), adv)
-            .max_ticks(1_000_000)
-            .run();
+        let report = Simulation::builder(instance).procs(algo.spawn(instance)).adversary(adv).max_ticks(1_000_000).build().run();
         prop_assert!(report.completed, "{}: {}", name, report);
         prop_assert!(report.work >= t as u64, "{}", name);
         prop_assert!(report.messages <= report.work * (p as u64), "{}", name);
@@ -72,13 +70,7 @@ proptest! {
         let instance = Instance::new(p, t).unwrap();
         let run = || {
             let algo = algorithm(algo_pick, instance, seed);
-            Simulation::new(
-                instance,
-                algo.spawn(instance),
-                Box::new(RandomDelay::new(d, seed)),
-            )
-            .max_ticks(1_000_000)
-            .run()
+            Simulation::builder(instance).procs(algo.spawn(instance)).adversary(Box::new(RandomDelay::new(d, seed))).max_ticks(1_000_000).build().run()
         };
         prop_assert_eq!(run(), run());
     }
@@ -102,9 +94,7 @@ proptest! {
             survivor % p,
             crash_at,
         );
-        let report = Simulation::new(instance, algo.spawn(instance), Box::new(adversary))
-            .max_ticks(1_000_000)
-            .run();
+        let report = Simulation::builder(instance).procs(algo.spawn(instance)).adversary(Box::new(adversary)).max_ticks(1_000_000).build().run();
         prop_assert!(report.completed, "{}: {}", algo.name(), report);
     }
 }
