@@ -289,72 +289,6 @@ impl RuntimeBuilder {
     }
 }
 
-/// Runs `procs` on OS threads with a no-op task body — bookkeeping only.
-///
-/// # Panics
-///
-/// Panics on any configuration the [`Runtime`] builder rejects.
-#[deprecated(since = "0.1.0", note = "use `Runtime::builder(config).run(..)`")]
-#[must_use]
-pub fn run_threaded(
-    instance: Instance,
-    procs: Vec<Box<dyn DoAllProcess>>,
-    config: &RuntimeConfig,
-) -> RunReport {
-    Runtime::builder(config.clone())
-        .run(instance, procs)
-        .unwrap_or_else(|e| panic!("{e}"))
-        .report
-}
-
-/// Runs `procs` on OS threads, executing `body(task)` for every task a
-/// state machine performs.
-///
-/// # Panics
-///
-/// Panics on any configuration the [`Runtime`] builder rejects.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Runtime::builder(config).tasks(body).run(..)`"
-)]
-#[must_use]
-pub fn run_threaded_with_tasks(
-    instance: Instance,
-    procs: Vec<Box<dyn DoAllProcess>>,
-    config: &RuntimeConfig,
-    body: Arc<TaskBody>,
-) -> RunReport {
-    Runtime::builder(config.clone())
-        .tasks(body)
-        .run(instance, procs)
-        .unwrap_or_else(|e| panic!("{e}"))
-        .report
-}
-
-/// Like `run_threaded_with_tasks`, also returning the harness's own
-/// accounting ([`RuntimeStats`]).
-///
-/// # Panics
-///
-/// Panics on any configuration the [`Runtime`] builder rejects.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `Runtime::builder(config).tasks(body).run(..)` and read `RunOutcome::stats`"
-)]
-#[must_use]
-pub fn run_threaded_with_stats(
-    instance: Instance,
-    procs: Vec<Box<dyn DoAllProcess>>,
-    config: &RuntimeConfig,
-    body: Arc<TaskBody>,
-) -> (RunReport, RuntimeStats) {
-    let outcome = Runtime::builder(config.clone())
-        .tasks(body)
-        .run(instance, procs)
-        .unwrap_or_else(|e| panic!("{e}"));
-    (outcome.report, outcome.stats)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,18 +507,6 @@ mod tests {
             .unwrap_err();
         assert_eq!(err, RuntimeError::AllCrashed);
         assert_eq!(err.to_string(), "at least one processor must survive");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    #[should_panic(expected = "at least one processor must survive")]
-    fn deprecated_shim_panics_with_the_legacy_message() {
-        let instance = Instance::new(2, 2).unwrap();
-        let config = RuntimeConfig {
-            crash_after_steps: vec![Some(1), Some(1)],
-            ..Default::default()
-        };
-        let _ = run_threaded(instance, sweeps(2, 2), &config);
     }
 
     #[test]
