@@ -1,23 +1,29 @@
-//! The experiment registry: every `e01`–`e17` binary as a declarative
-//! scenario-grid spec plus a derived-metric function, all executed by the
-//! shared parallel sweep engine.
+//! The experiment loader: every `e01`–`e17` binary is a suite invocation
+//! over the committed `scenarios/*.scn` files, executed by the shared
+//! sweep engine via [`crate::suite`].
 //!
-//! A spec names its full grids (the paper-scale tables recorded in
-//! EXPERIMENTS.md) and a tiny smoke grid (run on every CI push, under two
-//! minutes for the whole suite). Derived metrics re-state the paper's
-//! closed-form bounds next to the measurements; the two inequality lemmas
-//! (4.2 and 6.1) are *asserted*, so a violating run fails the harness
-//! rather than printing a quietly wrong table.
+//! Experiments used to be a 950-line Rust registry of spec structs and
+//! derive closures; they are now *data* — each scenario file holds its
+//! grids, smoke override, prose, and property assertions (see
+//! [`crate::scenario`] for the format). What stays in Rust is the one
+//! thing a text format cannot express: the derived-metric hooks that
+//! restate the paper's closed-form bounds next to the measurements. A
+//! scenario names its hook with `derive = <name>`; the name table is
+//! [`DERIVE_HOOKS`]. The paper's inequality lemmas (4.2 and 6.1), once
+//! buried in `assert!`s here, are now declarative `assert` lines in the
+//! scenario files — a violation names the exact offending cell instead
+//! of panicking the harness.
 
-use crate::grid::{schedules_for_algo, Backend, Cell, Grid, ALGO_NONE};
-use crate::output::{emit, parse_flags, Flags, Format, Record, ResultSet, FLAGS_USAGE};
-use crate::sweep::{default_threads, run_cells, SweepConfig};
+use crate::grid::{schedules_for_algo, Cell, ALGO_NONE};
+use crate::output::{emit, parse_flags, Format, ResultSet, FLAGS_USAGE};
+use crate::scenario::Scenario;
+use crate::suite::{load_dir, run_scenario, SuiteConfig};
 use doall_algorithms::Da;
 use doall_bounds::{da_epsilon, da_upper_bound, lower_bound_work, oblivious_work, pa_upper_bound};
 use doall_core::Instance;
 use doall_perms::{contention_exact, d_contention_of_list, dcont_threshold, search, Schedules};
-use doall_sim::DEFAULT_MAX_TICKS;
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 /// The standard algorithm roster used by the headline sweeps.
 pub const ROSTER: &[&str] = &["soloall", "da:2", "da:3", "paran1", "paran2", "padet"];
@@ -25,35 +31,6 @@ pub const ROSTER: &[&str] = &["soloall", "da:2", "da:3", "paran1", "paran2", "pa
 /// A derived-metric hook: reads a cell's measured metrics from the map
 /// and inserts bounds/ratios next to them.
 pub type DeriveFn = fn(&Cell, &mut BTreeMap<String, f64>);
-
-/// One experiment: id, prose, grids, and derived metrics.
-#[derive(Debug, Clone)]
-pub struct Experiment {
-    /// Registry id (`"e01"` … `"e15"`); also the record key in outputs.
-    pub id: &'static str,
-    /// What the experiment reproduces.
-    pub title: &'static str,
-    /// Setup line printed above the table in human mode.
-    pub setup: &'static str,
-    /// Interpretation notes printed after the table in human mode.
-    pub notes: &'static str,
-    /// Collect execution traces (primary/secondary execution metrics).
-    pub trace: bool,
-    /// Per-run tick cutoff (lower-bound experiments shorten it; long
-    /// sweeps raise it).
-    pub max_ticks: u64,
-    /// The full, paper-scale grids.
-    pub grids: fn() -> Vec<Grid>,
-    /// The tiny CI smoke grids.
-    pub smoke: fn() -> Vec<Grid>,
-    /// Adds derived metrics (bounds, ratios, contention) to a cell whose
-    /// measured metrics are already in the map.
-    pub derive: Option<DeriveFn>,
-}
-
-fn g(algos: &[&str], advs: &[&str], shapes: &[(usize, usize)], ds: &[u64], seeds: u64) -> Grid {
-    Grid::new(algos, advs, shapes, ds, seeds, 0)
-}
 
 fn instance_of(cell: &Cell) -> Instance {
     Instance::new(cell.p, cell.t).expect("cells are validated before running")
@@ -78,7 +55,7 @@ fn d_lower_bound(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     ratio_quadratic(cell, m);
 }
 
-fn d_e04(cell: &Cell, m: &mut BTreeMap<String, f64>) {
+fn d_contention_lemmas(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     let n = cell.t;
     if cell.algo == ALGO_NONE {
         // Lemma 4.1: certified low-contention list search vs the 3nH_n bound.
@@ -87,22 +64,18 @@ fn d_e04(cell: &Cell, m: &mut BTreeMap<String, f64>) {
         m.insert("bound_3nHn".to_string(), search::lemma41_bound(n));
         m.insert("worst_list_nn".to_string(), (n * n) as f64);
     } else {
-        // Lemma 4.2: ObliDo's primary executions never exceed Cont(Σ).
+        // Lemma 4.2 data: ObliDo's primary executions vs Cont(Σ) of the
+        // very list it ran with. The inequality itself is a scenario
+        // `assert primary <= cont` line, not a panic here.
         let sched = schedules_for_algo(&cell.algo, instance_of(cell), cell.run_seed(0))
             .expect("oblido keys carry schedules");
         let cont = contention_exact(sched.as_slice()) as f64;
-        let primary = m["mean_primary"];
-        assert!(
-            primary <= cont,
-            "Lemma 4.2 violated: {primary} > {cont} ({} n={n})",
-            cell.algo
-        );
         m.insert("cont".to_string(), cont);
         m.insert("total_nn".to_string(), (n * n) as f64);
     }
 }
 
-fn d_e05(cell: &Cell, m: &mut BTreeMap<String, f64>) {
+fn d_dcont_threshold(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     // Theorem 4.4 / Corollary 4.5: (d)-Cont of a random list vs threshold.
     let sched = Schedules::random(cell.p, cell.t, cell.run_seed(0));
     let est = d_contention_of_list(sched.as_slice(), cell.d as usize);
@@ -131,7 +104,7 @@ fn da_eps_of(cell: &Cell, m: &mut BTreeMap<String, f64>) -> f64 {
     eps
 }
 
-fn d_e06(cell: &Cell, m: &mut BTreeMap<String, f64>) {
+fn d_da_bound(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     let eps = da_eps_of(cell, m);
     let bound = da_upper_bound(cell.p, cell.t, cell.d, eps);
     m.insert("da_bound".to_string(), bound);
@@ -159,8 +132,12 @@ fn d_pa_bound(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     msgs_over_p_work(cell, m);
 }
 
-fn d_e10(cell: &Cell, m: &mut BTreeMap<String, f64>) {
-    // Lemma 6.1: PaDet work ≤ (d)-Cont(Σ) of its own schedule list.
+fn d_dcont_lemma(cell: &Cell, m: &mut BTreeMap<String, f64>) {
+    // Lemma 6.1 data: PaDet work vs (d)-Cont(Σ) of its own schedule
+    // list. The exact-row inequality (small slack: the final tick may
+    // charge idle steps of processors that have not yet learned
+    // completion) is a scenario `assert work <= dcont + p when
+    // dcont_exact == 1` line.
     let sched = schedules_for_algo(&cell.algo, instance_of(cell), cell.run_seed(0))
         .expect("padet carries schedules");
     let dc = d_contention_of_list(sched.as_slice(), cell.d as usize);
@@ -168,25 +145,15 @@ fn d_e10(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     m.insert("dcont_exact".to_string(), f64::from(u8::from(dc.exact)));
     if let Some(&w) = m.get("mean_work") {
         m.insert("ratio_dcont".to_string(), w / dc.value as f64);
-        if dc.exact {
-            // Small slack: the final tick may charge idle steps of
-            // processors that have not yet learned completion.
-            assert!(
-                w <= (dc.value + cell.p) as f64,
-                "Lemma 6.1 violated at d={}: {w} > {}",
-                cell.d,
-                dc.value
-            );
-        }
     }
 }
 
-fn d_e13(cell: &Cell, m: &mut BTreeMap<String, f64>) {
+fn d_da_epsilon(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     let _ = da_eps_of(cell, m);
     msgs_over_p_work(cell, m);
 }
 
-fn d_e14(cell: &Cell, m: &mut BTreeMap<String, f64>) {
+fn d_msgs_over_work(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     if let (Some(&msgs), Some(&w)) = (m.get("mean_messages"), m.get("mean_work")) {
         if w > 0.0 {
             m.insert("m_over_w".to_string(), msgs / w);
@@ -195,559 +162,98 @@ fn d_e14(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     ratio_quadratic(cell, m);
 }
 
-fn d_e15(cell: &Cell, m: &mut BTreeMap<String, f64>) {
+fn d_dcont_list(cell: &Cell, m: &mut BTreeMap<String, f64>) {
     let sched = schedules_for_algo(&cell.algo, instance_of(cell), cell.run_seed(0))
-        .expect("e15 keys carry schedules");
+        .expect("structured-schedule keys carry schedules");
     let dc = d_contention_of_list(sched.as_slice(), cell.d as usize);
     m.insert("dcont".to_string(), dc.value as f64);
     ratio_quadratic(cell, m);
 }
 
-fn d_e16(cell: &Cell, m: &mut BTreeMap<String, f64>) {
-    ratio_quadratic(cell, m);
-    // Structural sanity under every adversary parameterization: all t
-    // tasks are performed at least once and a step performs at most one
-    // task, so W ≥ t whatever the duty cycle, stagger, or slowdown.
-    if let Some(&w) = m.get("mean_work") {
-        assert!(
-            w >= cell.t as f64,
-            "impossible work under {}: mean_work {w} < t = {}",
-            cell.adversary,
-            cell.t
-        );
-    }
-    // The afflicted-processor counts the sweep records must respect the
-    // ≥ 1 full-speed survivor cap the builders promise.
-    for key in ["crash_count", "straggler_count"] {
-        if let Some(&count) = m.get(key) {
-            assert!(
-                count < cell.p as f64,
-                "{} = {count} leaves no full-speed survivor at p = {}",
-                key,
-                cell.p
-            );
-        }
-    }
-}
+/// Every derived-metric hook a scenario file may name with
+/// `derive = <name>`, sorted by name.
+pub const DERIVE_HOOKS: &[(&str, DeriveFn)] = &[
+    ("contention_lemmas", d_contention_lemmas),
+    ("da_bound", d_da_bound),
+    ("da_epsilon", d_da_epsilon),
+    ("dcont_lemma", d_dcont_lemma),
+    ("dcont_list", d_dcont_list),
+    ("dcont_threshold", d_dcont_threshold),
+    ("lower_bound", d_lower_bound),
+    ("msgs_over_p_work", msgs_over_p_work),
+    ("msgs_over_work", d_msgs_over_work),
+    ("pa_bound", d_pa_bound),
+    ("ratio_quadratic", ratio_quadratic),
+];
 
-fn d_e17(cell: &Cell, m: &mut BTreeMap<String, f64>) {
-    ratio_quadratic(cell, m);
-    // Substrate-independent floor: every task is performed at least once
-    // and a step performs at most one task, so W ≥ t on *both* backends
-    // (the threads runner counts real state-machine steps, not ticks).
-    if let Some(&w) = m.get("mean_work") {
-        assert!(
-            w >= cell.t as f64,
-            "impossible work on the {} backend: mean_work {w} < t = {}",
-            cell.effective_backend(),
-            cell.t
-        );
-    }
-    // Backend-tagged cells always carry the measured-only trio, and
-    // wall-clock is real exactly on the threads substrate.
-    let ms = m["wall_clock_ms"];
-    match cell.effective_backend() {
-        Backend::Sim => assert!(ms == 0.0, "sim cells have no wall-clock: {ms}"),
-        Backend::Threads => assert!(ms > 0.0, "threads cells must measure wall-clock"),
-    }
-}
-
-/// Every experiment in suite order.
+/// Resolves a scenario's `derive = <name>` hook.
 #[must_use]
-pub fn registry() -> Vec<Experiment> {
-    vec![
-        Experiment {
-            id: "e01",
-            title: "Proposition 2.2 (quadratic wall at d = Ω(t))",
-            setup: "All algorithms at d ∈ {t, 2t}; ratio_quadratic is W/(p·t). Expect Θ(1) everywhere.",
-            notes: "Paper: Ω(t·p) is unavoidable for a (c·t)-adversary — the ratios sit in a narrow constant band.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![
-                    g(ROSTER, &["fixed"], &[(32, 32)], &[32, 64], 1),
-                    g(ROSTER, &["fixed"], &[(64, 64)], &[64, 128], 1),
-                ]
-            },
-            smoke: || vec![g(ROSTER, &["fixed"], &[(8, 8)], &[8, 16], 1)],
-            derive: Some(ratio_quadratic),
-        },
-        Experiment {
-            id: "e02",
-            title: "Theorem 3.1 (delay-sensitive lower bound, deterministic)",
-            setup: "p = t; LowerBoundAdversary (stage dry-runs) vs the bound t + p·min{d,t}·log_(d+1)(d+t); `unit` rows are the benign baseline.",
-            notes: "Paper: forced work grows with d; forced/(p·t) saturates in the [1/18, 1] band at large d while forced/LB stays within a constant band.",
-            trace: false,
-            max_ticks: 50_000_000,
-            grids: || {
-                vec![
-                    g(&["da:3", "padet"], &["lb"], &[(243, 243)], &[1, 3, 9, 27, 81, 243], 1),
-                    g(&["da:3", "padet"], &["unit"], &[(243, 243)], &[1], 1),
-                ]
-            },
-            smoke: || {
-                vec![
-                    g(&["da:3", "padet"], &["lb"], &[(9, 9)], &[1, 3], 1),
-                    g(&["da:3", "padet"], &["unit"], &[(9, 9)], &[1], 1),
-                ]
-            },
-            derive: Some(d_lower_bound),
-        },
-        Experiment {
-            id: "e03",
-            title: "Theorem 3.4 (delay-sensitive lower bound, randomized)",
-            setup: "p = t; delay-on-touch adversary; mean over seeds; `unit` rows are the benign baseline.",
-            notes: "Paper: expected forced work grows with d; freezing on touched defended tasks realizes Lemma 3.3's adversary.",
-            trace: false,
-            max_ticks: 50_000_000,
-            grids: || {
-                vec![
-                    g(&["paran1", "paran2"], &["lbrand"], &[(128, 128)], &[1, 4, 16, 64, 128], 10),
-                    g(&["paran1", "paran2"], &["unit"], &[(128, 128)], &[1], 10),
-                ]
-            },
-            smoke: || {
-                vec![
-                    g(&["paran1", "paran2"], &["lbrand"], &[(8, 8)], &[1, 4], 2),
-                    g(&["paran1", "paran2"], &["unit"], &[(8, 8)], &[1], 2),
-                ]
-            },
-            derive: Some(d_lower_bound),
-        },
-        Experiment {
-            id: "e04",
-            title: "Lemma 4.1 (Cont(Σ) ≤ 3nH_n lists exist) and Lemma 4.2 (primary executions ≤ Cont(Σ))",
-            setup: "`none` rows: certified low-contention search vs the bound. ObliDo rows: traced primary executions vs the exact Cont(Σ) of the same list (the inequality is asserted).",
-            notes: "Paper: primary executions never exceed Cont(Σ); low-contention lists beat the worst case by ~n/log n.",
-            trace: true,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![
-                    g(&[ALGO_NONE], &["unit"], &[(2, 2), (3, 3), (4, 4), (5, 5), (6, 6), (7, 7)], &[1], 1),
-                    g(
-                        &["oblido-searched", "oblido", "oblido-worst"],
-                        &["stage"],
-                        &[(5, 5), (6, 6), (7, 7)],
-                        &[2],
-                        1,
-                    ),
-                ]
-            },
-            smoke: || {
-                vec![
-                    g(&[ALGO_NONE], &["unit"], &[(2, 2), (3, 3), (4, 4)], &[1], 1),
-                    g(
-                        &["oblido-searched", "oblido", "oblido-worst"],
-                        &["stage"],
-                        &[(4, 4), (5, 5)],
-                        &[2],
-                        1,
-                    ),
-                ]
-            },
-            derive: Some(d_e04),
-        },
-        Experiment {
-            id: "e05",
-            title: "Theorem 4.4 / Corollary 4.5 ((d)-contention of random schedule lists)",
-            setup: "Estimated (exact for n ≤ 8) (d)-Cont(Σ) of a random list of p schedules over [t] vs n·ln n + 8pd·ln(e+n/d), across d. Pure combinatorics — no simulation.",
-            notes: "Paper: the threshold holds for every d simultaneously w.h.p. — all ratios stay below 1, with the saturation cap n·p taking over once d ≳ n.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![
-                    g(&[ALGO_NONE], &["unit"], &[(8, 8)], &[1, 4], 1),
-                    g(&[ALGO_NONE], &["unit"], &[(8, 64), (16, 64)], &[1, 4, 16, 64], 1),
-                    g(&[ALGO_NONE], &["unit"], &[(16, 256), (32, 256)], &[1, 4, 16, 64, 256], 1),
-                ]
-            },
-            smoke: || vec![g(&[ALGO_NONE], &["unit"], &[(4, 8)], &[1, 4], 1)],
-            derive: Some(d_e05),
-        },
-        Experiment {
-            id: "e06",
-            title: "Theorems 5.4/5.5 (DA(q) delay-sensitive work)",
-            setup: "DA(3) under the stage-aligned d-adversary vs t·p^ε + p·min{t,d}·⌈t/d⌉^ε, with ε = log_q(Cont(Σ)/q) from the certified schedule list.",
-            notes: "Paper: W/bound stays in a constant band; W/(p·t) is ≪ 1 while d = o(t) (subquadratic regime).",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![
-                    g(&["da:3"], &["stage"], &[(243, 243)], &[1, 3, 9, 27, 81, 243], 1),
-                    g(&["da:3"], &["stage"], &[(27, 729)], &[1, 3, 9, 27, 81, 243, 729], 1),
-                    g(
-                        &["da:3"],
-                        &["stage"],
-                        &[(9, 6561)],
-                        &[1, 3, 9, 27, 81, 243, 729, 2187, 6561],
-                        1,
-                    ),
-                ]
-            },
-            smoke: || vec![g(&["da:3"], &["stage"], &[(9, 27)], &[1, 3, 9, 27], 1)],
-            derive: Some(d_e06),
-        },
-        Experiment {
-            id: "e07",
-            title: "Theorem 5.6 (DA message complexity M = O(p·W))",
-            setup: "M vs p·W across d and q; m_over_pw is bounded by 1 by construction — the table shows how far below the bound DA actually stays.",
-            notes: "Paper: M = O(p·W) — every ratio is < 1, and only node-retiring steps broadcast.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![g(
-                    &["da:2", "da:3", "da:4"],
-                    &["stage"],
-                    &[(64, 256)],
-                    &[1, 4, 16, 64, 256],
-                    1,
-                )]
-            },
-            smoke: || vec![g(&["da:2", "da:3"], &["stage"], &[(8, 32)], &[1, 4], 1)],
-            derive: Some(|cell, m| {
-                msgs_over_p_work(cell, m);
-            }),
-        },
-        Experiment {
-            id: "e08",
-            title: "Theorem 6.2 / Corollary 6.4 (PaRan expected work and messages)",
-            setup: "Mean over seeds under the stage-aligned d-adversary vs t·log n + p·min{t,d}·log(2+t/d).",
-            notes: "Paper: E[W]/bound sits in a constant band across the sweep; messages stay within p×work.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![
-                    g(&["paran1", "paran2"], &["stage"], &[(128, 128)], &[1, 4, 16, 64], 20),
-                    g(
-                        &["paran1", "paran2"],
-                        &["stage"],
-                        &[(32, 1024)],
-                        &[1, 4, 16, 64, 256, 1024],
-                        20,
-                    ),
-                ]
-            },
-            smoke: || {
-                vec![g(&["paran1", "paran2"], &["stage"], &[(8, 8), (4, 32)], &[1, 4], 3)]
-            },
-            derive: Some(d_pa_bound),
-        },
-        Experiment {
-            id: "e09",
-            title: "Theorem 6.3 / Corollary 6.5 (PaDet deterministic work)",
-            setup: "PaDet (Cor-4.5-style random list) vs the bound, with PaRan1 seed-means alongside.",
-            notes: "Paper: the deterministic algorithm tracks the randomized one (ratio_bound ≈ constant), confirming that a fixed good list derandomizes the schedule family.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![
-                    g(&["padet"], &["stage"], &[(128, 128)], &[1, 4, 16, 64], 3),
-                    g(&["padet"], &["stage"], &[(32, 1024)], &[1, 4, 16, 64, 256, 1024], 3),
-                    g(&["paran1"], &["stage"], &[(128, 128)], &[1, 4, 16, 64], 20),
-                    g(&["paran1"], &["stage"], &[(32, 1024)], &[1, 4, 16, 64, 256, 1024], 20),
-                ]
-            },
-            smoke: || {
-                vec![
-                    g(&["padet"], &["stage"], &[(8, 8)], &[1, 4], 2),
-                    g(&["paran1"], &["stage"], &[(8, 8)], &[1, 4], 3),
-                ]
-            },
-            derive: Some(d_pa_bound),
-        },
-        Experiment {
-            id: "e10",
-            title: "Lemma 6.1 (PaDet work ≤ (d)-Cont(Σ))",
-            setup: "Measured work under the stage-aligned d-adversary vs the (d)-contention of the same list; exact (n ≤ 8) rows assert the inequality.",
-            notes: "Paper: Lemma 6.1 is the bridge from executions to combinatorics — the exact rows are a hard pass/fail; sampled estimates are a lower bound on the true max, so ratios slightly above 1 remain consistent.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![
-                    g(&["padet"], &["stage"], &[(8, 8)], &[1, 2, 4, 8], 1),
-                    g(&["padet"], &["stage"], &[(64, 64)], &[1, 4, 16, 64], 1),
-                ]
-            },
-            smoke: || vec![g(&["padet"], &["stage"], &[(8, 8)], &[1, 2, 4, 8], 1)],
-            derive: Some(d_e10),
-        },
-        Experiment {
-            id: "e11",
-            title: "Headline crossover (subquadratic iff d = o(t))",
-            setup: "Every algorithm on one instance across d — who wins where, and the crossover into the quadratic wall at d ≈ t.",
-            notes: "Paper: the cooperative algorithms are subquadratic while d ≪ t; the PA family beats DA for moderate d (logarithmic rather than polynomial overhead), and everything converges to p·t at d ≈ t.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![g(ROSTER, &["stage"], &[(256, 256)], &[1, 4, 16, 64, 128, 256], 1)]
-            },
-            // The smoke grid doubles as the CI matrix check: the full
-            // roster against every benign adversary family.
-            smoke: || {
-                vec![g(
-                    ROSTER,
-                    &["stage", "fixed", "random", "bursty", "unit"],
-                    &[(8, 8)],
-                    &[1, 4, 8],
-                    1,
-                )]
-            },
-            derive: Some(ratio_quadratic),
-        },
-        Experiment {
-            id: "e12",
-            title: "Fault tolerance (§1.2): any crash pattern, ≥ 1 survivor",
-            setup: "Random delays ≤ d with staggered crashes of 0%, 50%, and 100% (capped at p−1) of the processors.",
-            notes: "Paper: correctness under any crash pattern with one survivor; heavy crashes can *reduce* charged work (dead processors stop being charged) while the survivors slowly finish everything — time stretches, work does not explode.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![g(
-                    ROSTER,
-                    &["crash:0", "crash:50", "crash:100"],
-                    &[(32, 256)],
-                    &[8],
-                    1,
-                )]
-            },
-            smoke: || {
-                vec![g(
-                    ROSTER,
-                    &["crash:0", "crash:50", "crash:100"],
-                    &[(8, 32)],
-                    &[4],
-                    1,
-                )]
-            },
-            derive: Some(ratio_quadratic),
-        },
-        Experiment {
-            id: "e13",
-            title: "Ablation: DA branching factor q (Theorem 5.4's ε/q trade)",
-            setup: "Certified schedule lists per q; work under stage-aligned delays; ε = log_q(Cont(Σ)/q).",
-            notes: "Reading: ε decreases only slowly with q (the paper notes the required q is of order 2^(log(1/ε)/ε)), so small q already sit near the same ε; work differences at small d come from tree-shape constants, and larger q consistently lowers the message bill.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![g(
-                    &["da:2", "da:3", "da:4", "da:5", "da:6"],
-                    &["stage"],
-                    &[(64, 256)],
-                    &[1, 16, 64],
-                    1,
-                )]
-            },
-            smoke: || {
-                vec![g(&["da:2", "da:3", "da:4", "da:5", "da:6"], &["stage"], &[(8, 16)], &[1, 4], 1)]
-            },
-            derive: Some(d_e13),
-        },
-        Experiment {
-            id: "e14",
-            title: "Extension (§7): gossip fanout vs the work/message trade-off",
-            setup: "PaGossip multicasts each completion to `fanout` random peers; the fanout sweep maps the Pareto frontier between SoloAll (no messages) and PaRan1 (full broadcast).",
-            notes: "Reading: messages grow linearly with fanout while work falls steeply then flattens — a logarithmic fanout already buys most of the broadcast's work savings at a tiny fraction of its message cost.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![g(
-                    &[
-                        "soloall", "gossip:1", "gossip:2", "gossip:4", "gossip:8", "gossip:16",
-                        "gossip:32", "paran1",
-                    ],
-                    &["stage"],
-                    &[(64, 256)],
-                    &[16],
-                    10,
-                )]
-            },
-            smoke: || {
-                vec![g(
-                    &["soloall", "gossip:1", "gossip:4", "paran1"],
-                    &["stage"],
-                    &[(8, 32)],
-                    &[4],
-                    3,
-                )]
-            },
-            derive: Some(d_e14),
-        },
-        Experiment {
-            id: "e15",
-            title: "Ablation (§7 open problem): structured vs random schedule lists",
-            setup: "p = t prime (affine maps apply without padding); estimated (d)-Cont and measured PaDet work per list family.",
-            notes: "Reading: rotations' worst-case contention is near-maximal yet their measured work under benign delays is fine — contention is a worst-case guarantee; affine lists track random lists on both counts with two words of storage per schedule.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![g(
-                    &["padet-rot", "padet-affine", "padet"],
-                    &["stage"],
-                    &[(67, 67)],
-                    &[1, 8, 32],
-                    1,
-                )]
-            },
-            smoke: || {
-                vec![g(&["padet-rot", "padet-affine", "padet"], &["stage"], &[(7, 7)], &[1, 4], 1)]
-            },
-            derive: Some(d_e15),
-        },
-        Experiment {
-            id: "e16",
-            title: "Adversary structure (§2.2 extension): bursty duty cycles × crash stagger × stragglers",
-            setup: "The adversaries' own knobs as grid axes: bursty phase period × d (square-wave congestion), crash stagger patterns (even | burst | front) at fixed pct, and persistent stragglers (pct × slowdown). Same roster subset on one shape, so rows differ only in adversary structure.",
-            notes: "Reading: the delay *ceiling* d undersells the adversary space — short bursty periods cost little while long congested phases approach the fixed-d wall; front-loaded crashes hurt more than evenly staggered ones (survivors run the whole execution short-handed); stragglers stretch σ but work stays bounded because slowed processors stop being charged between beats.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![
-                    g(
-                        &["paran1", "padet"],
-                        &["unit", "bursty:1", "bursty:8", "bursty:64"],
-                        &[(32, 256)],
-                        &[4, 16],
-                        3,
-                    ),
-                    g(
-                        &["paran1", "padet"],
-                        &["crash:25@even", "crash:25@burst", "crash:25@front", "crash:50@burst"],
-                        &[(32, 256)],
-                        &[8],
-                        3,
-                    ),
-                    g(
-                        &["paran1", "padet"],
-                        &["straggler:25:2", "straggler:25:4", "straggler:50:4"],
-                        &[(32, 256)],
-                        &[8],
-                        3,
-                    ),
-                ]
-            },
-            smoke: || {
-                vec![
-                    g(&["paran1"], &["bursty:2", "bursty:8"], &[(8, 32)], &[4], 2),
-                    g(
-                        &["paran1"],
-                        &["crash:50@even", "crash:50@burst", "crash:50@front"],
-                        &[(8, 32)],
-                        &[4],
-                        2,
-                    ),
-                    g(&["paran1"], &["straggler:25:4"], &[(8, 32)], &[4], 2),
-                ]
-            },
-            derive: Some(d_e16),
-        },
-        Experiment {
-            id: "e17",
-            title: "Substrate check (§1.2): simulation vs real threads, same state machines",
-            setup: "Every cell runs twice — `backend=sim` (deterministic tick simulation) and `backend=threads` (doall-runtime: real OS threads, a delaying channel router for the d-adversary, step budgets for crashes) — with identical derived seeds, so the algorithm's randomness matches across substrates. wall_clock_ms / crashed_drained / max_crashed_backlog are measured on threads and pinned to 0 under sim.",
-            notes: "Reading: sim rows are byte-stable (they gate CI at tolerance 0); threads rows share the sim rows' qualitative shape — W ≥ t holds, crashes fire, work grows with d — while the absolute counts wobble with OS scheduling. That agreement is the evidence the simulator measures the algorithms, not simulator artifacts.",
-            trace: false,
-            max_ticks: DEFAULT_MAX_TICKS,
-            grids: || {
-                vec![g(
-                    &["da:3", "paran1"],
-                    &["unit", "crash:50", "straggler:25:4"],
-                    &[(8, 64)],
-                    &[2, 8],
-                    5,
-                )
-                .with_backends(&[Backend::Sim, Backend::Threads])]
-            },
-            smoke: || {
-                vec![g(&["paran1"], &["unit", "crash:50"], &[(4, 16)], &[2], 2)
-                    .with_backends(&[Backend::Sim, Backend::Threads])]
-            },
-            derive: Some(d_e17),
-        },
-    ]
+pub fn derive_by_name(name: &str) -> Option<DeriveFn> {
+    DERIVE_HOOKS
+        .iter()
+        .find(|(n, _)| *n == name)
+        .map(|&(_, f)| f)
 }
 
-/// Looks up one experiment by id.
+/// The committed scenario directory: `./scenarios` when invoked from the
+/// repository root (the CLI and CI case), else resolved relative to this
+/// crate's manifest (the `cargo test` / `cargo run` case).
 #[must_use]
-pub fn by_id(id: &str) -> Option<Experiment> {
-    registry().into_iter().find(|e| e.id == id)
+pub fn scenarios_dir() -> PathBuf {
+    let cwd = PathBuf::from("scenarios");
+    if cwd.is_dir() {
+        return cwd;
+    }
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
 }
 
-/// Runs one experiment under `flags` and returns its records.
-///
-/// # Errors
-///
-/// Returns a rendered message for sweep failures (bad keys, invalid
-/// shapes, tick-cutoff hits).
-pub fn run_experiment(exp: &Experiment, flags: &Flags) -> Result<Vec<Record>, String> {
-    let grids = if flags.smoke {
-        (exp.smoke)()
-    } else {
-        (exp.grids)()
-    };
-    let mut cells = Vec::new();
-    for grid in &grids {
-        grid.validate().map_err(|e| format!("{}: {e}", exp.id))?;
-        cells.extend(grid.cells());
-    }
-    let cfg = SweepConfig {
-        threads: flags.threads.unwrap_or_else(default_threads),
-        max_ticks: flags.max_ticks.unwrap_or(exp.max_ticks),
-        trace: exp.trace,
-        shard_size: flags.shard_size,
-    };
-    let measurements = run_cells(&cells, &cfg).map_err(|e| format!("{}: {e}", exp.id))?;
-    let mut records = Vec::with_capacity(measurements.len());
-    for m in measurements {
-        let mut metrics = m.metrics();
-        if let Some(derive) = exp.derive {
-            derive(&m.cell, &mut metrics);
-        }
-        records.push(Record {
-            experiment: exp.id.to_string(),
-            cell: m.cell,
-            metrics,
-        });
-    }
-    Ok(records)
-}
-
-/// Runs the suite and returns whether it is clean: `false` means a
-/// `--compare` baseline comparison found drift (the caller exits 1).
+/// Runs the suite and returns whether it is clean: `false` means an
+/// assertion failed or a `--compare` baseline comparison found drift
+/// (the caller exits 1).
 fn run_suite(only: Option<&str>, args: &[String]) -> Result<bool, String> {
     let flags = parse_flags(args)?;
-    let exps: Vec<Experiment> = match only {
-        Some(id) => vec![by_id(id).ok_or_else(|| format!("unknown experiment `{id}`"))?],
-        None => {
-            let all = registry();
-            match &flags.only {
-                Some(ids) => {
-                    for id in ids {
-                        if !all.iter().any(|e| e.id == id.as_str()) {
-                            return Err(format!("unknown experiment `{id}` in --only"));
-                        }
-                    }
-                    all.into_iter()
-                        .filter(|e| ids.iter().any(|id| id == e.id))
-                        .collect()
-                }
-                None => all,
+    let all = load_dir(&scenarios_dir())?;
+    let ids: Vec<&str> = match only {
+        Some(id) => vec![id],
+        None => match &flags.only {
+            Some(ids) => ids.iter().map(String::as_str).collect(),
+            None => Vec::new(),
+        },
+    };
+    let scenarios: Vec<Scenario> = if ids.is_empty() {
+        all
+    } else {
+        for id in &ids {
+            if !all.iter().any(|s| s.id == *id) {
+                return Err(format!("unknown experiment `{id}`"));
             }
         }
+        all.into_iter()
+            .filter(|s| ids.iter().any(|id| *id == s.id))
+            .collect()
+    };
+    let cfg = SuiteConfig {
+        smoke: flags.smoke,
+        threads: flags.threads,
+        shard_size: flags.shard_size,
+        max_ticks: flags.max_ticks,
     };
     let human = flags.format == Format::Table;
     let mut records = Vec::new();
-    for exp in &exps {
-        let recs = run_experiment(exp, &flags)?;
+    let mut failures = Vec::new();
+    for scn in &scenarios {
+        let outcome = run_scenario(scn, &cfg)?;
         if human {
-            crate::section(exp.id, exp.title, exp.setup);
+            crate::section(&scn.id, &scn.title, &scn.setup);
             ResultSet {
                 mode: String::new(),
-                records: recs.clone(),
+                records: outcome.records.clone(),
             }
             .print_tables();
-            println!("{}", exp.notes);
+            println!("{}", scn.notes);
         }
-        records.extend(recs);
+        failures.extend(outcome.failures);
+        records.extend(outcome.records);
     }
     let mode = if flags.smoke { "smoke" } else { "full" };
     let results = ResultSet {
@@ -757,22 +263,28 @@ fn run_suite(only: Option<&str>, args: &[String]) -> Result<bool, String> {
     if !human {
         emit(&results, &flags)?;
     }
+    // Assertion failures go to stderr (stdout may carry the results).
+    for failure in &failures {
+        eprintln!("FAIL {failure}");
+    }
+    let mut clean = failures.is_empty();
     if let Some(path) = &flags.compare {
         let baseline = crate::compare::load_result_set(path).map_err(|e| e.to_string())?;
         let current = crate::compare::BaselineSet::of(&results);
         let comparison = crate::compare::compare(&baseline, &current, flags.tolerance);
-        // The diff goes to stderr: stdout may already carry the results.
+        // The diff goes to stderr too.
         eprint!("{}", comparison.render_text());
-        return Ok(comparison.is_clean());
+        clean &= comparison.is_clean();
     }
-    Ok(true)
+    Ok(clean)
 }
 
 fn main_with(only: Option<&str>) {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run_suite(only, &args) {
         Ok(true) => {}
-        // Baseline drift: exit 1, diff-style (2 is reserved for errors).
+        // Assertion failure or baseline drift: exit 1, diff-style (2 is
+        // reserved for errors).
         Ok(false) => std::process::exit(1),
         Err(e) if e == "help" => {
             println!("{FLAGS_USAGE}");
@@ -785,13 +297,15 @@ fn main_with(only: Option<&str>) {
 }
 
 /// Entry point for a single experiment binary: parses the shared flags
-/// from `std::env::args` and runs experiment `id`.
+/// from `std::env::args` and runs scenario `id` from the committed
+/// suite.
 pub fn experiment_main(id: &str) {
     main_with(Some(id));
 }
 
-/// Entry point for the `all_experiments` binary: runs the whole registry
-/// (or the `--only` subset) in-process and emits one merged result set.
+/// Entry point for the `all_experiments` binary: runs the whole
+/// committed suite (or the `--only` subset) in-process and emits one
+/// merged result set.
 pub fn suite_main() {
     main_with(None);
 }
@@ -799,32 +313,43 @@ pub fn suite_main() {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::suite::run_suite as run_suite_scenarios;
 
-    #[test]
-    fn registry_has_seventeen_unique_ids() {
-        let reg = registry();
-        assert_eq!(reg.len(), 17);
-        let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
-        ids.dedup();
-        assert_eq!(ids.len(), 17);
-        assert!(by_id("e01").is_some());
-        assert!(by_id("e17").is_some());
-        assert!(by_id("e99").is_none());
+    fn committed() -> Vec<Scenario> {
+        load_dir(&scenarios_dir()).expect("committed scenarios load")
     }
 
     #[test]
-    fn every_grid_full_and_smoke_validates() {
-        for exp in registry() {
-            for grid in (exp.grids)().iter().chain((exp.smoke)().iter()) {
-                grid.validate().unwrap_or_else(|e| {
-                    panic!("{}: invalid grid `{grid}`: {e}", exp.id);
-                });
-            }
+    fn committed_suite_has_seventeen_unique_ids() {
+        let scenarios = committed();
+        assert_eq!(scenarios.len(), 17);
+        let ids: std::collections::BTreeSet<&str> =
+            scenarios.iter().map(|s| s.id.as_str()).collect();
+        assert_eq!(ids.len(), 17);
+        assert!(ids.contains("e01"));
+        assert!(ids.contains("e17"));
+        // Sorted-path discovery puts them in id order.
+        let in_order: Vec<&str> = scenarios.iter().map(|s| s.id.as_str()).collect();
+        let mut sorted = in_order.clone();
+        sorted.sort_unstable();
+        assert_eq!(in_order, sorted);
+    }
+
+    #[test]
+    fn every_committed_scenario_is_fully_specified() {
+        for scn in committed() {
+            assert!(!scn.title.is_empty(), "{} needs a title", scn.id);
+            assert!(!scn.setup.is_empty(), "{} needs a setup line", scn.id);
+            assert!(!scn.notes.is_empty(), "{} needs notes", scn.id);
             assert!(
-                !(exp.smoke)().is_empty(),
+                !scn.smoke.is_empty(),
                 "{} needs a smoke grid for CI",
-                exp.id
+                scn.id
             );
+            assert!(!scn.asserts.is_empty(), "{} needs assertions", scn.id);
+            // Grids are validated by load_dir; spot-check round-tripping.
+            let rendered = scn.to_string();
+            assert_eq!(Scenario::parse(&rendered).unwrap(), scn, "{}", scn.id);
         }
     }
 
@@ -832,8 +357,8 @@ mod tests {
     fn smoke_suite_covers_the_full_algorithm_and_adversary_matrix() {
         let mut algos = std::collections::BTreeSet::new();
         let mut advs = std::collections::BTreeSet::new();
-        for exp in registry() {
-            for grid in (exp.smoke)() {
+        for scn in committed() {
+            for grid in scn.grids_for(true) {
                 algos.extend(grid.algos.clone());
                 advs.extend(grid.adversaries.iter().map(ToString::to_string));
             }
@@ -874,22 +399,25 @@ mod tests {
     }
 
     #[test]
-    fn smoke_experiment_produces_expected_metrics() {
-        let flags = Flags {
+    fn smoke_e01_produces_expected_metrics_and_passes_its_assertions() {
+        let scenarios = committed();
+        let e01 = scenarios.iter().find(|s| s.id == "e01").unwrap();
+        let cfg = SuiteConfig {
             smoke: true,
             threads: Some(2),
-            ..Flags::default()
+            ..SuiteConfig::default()
         };
-        let exp = by_id("e01").unwrap();
-        let records = run_experiment(&exp, &flags).unwrap();
+        let outcome = run_scenario(e01, &cfg).unwrap();
+        assert!(outcome.failures.is_empty(), "{:?}", outcome.failures);
         // roster × 1 shape × 2 ds
-        assert_eq!(records.len(), ROSTER.len() * 2);
-        for r in &records {
+        assert_eq!(outcome.records.len(), ROSTER.len() * 2);
+        for r in &outcome.records {
             assert!(r.metrics.contains_key("mean_work"));
             assert!(r.metrics.contains_key("median_work"));
             assert!(r.metrics.contains_key("max_messages"));
             // The quadratic-wall band is Θ(1), but the constant at tiny
-            // smoke shapes can sit above 1 — only sanity-check the order.
+            // smoke shapes can sit above 1 — only sanity-check the order
+            // (the scenario's own assertions encode the same band).
             let ratio = r.metrics["ratio_quadratic"];
             assert!(ratio > 0.0 && ratio < 10.0, "{}: {ratio}", r.cell.algo);
         }
@@ -933,22 +461,45 @@ mod tests {
             !clean,
             "a doctored baseline value must be reported as drift"
         );
+        assert!(
+            run_suite(None, &args("--smoke --only e99 --json")).is_err(),
+            "unknown ids are rejected"
+        );
         let _ = std::fs::remove_file(&base);
         let _ = std::fs::remove_file(format!("{base}.2"));
     }
 
     #[test]
-    fn lemma_experiments_assert_their_inequalities_in_smoke() {
-        let flags = Flags {
+    fn lemma_scenarios_pass_their_declarative_assertions_in_smoke() {
+        let scenarios = committed();
+        let cfg = SuiteConfig {
             smoke: true,
             threads: Some(2),
-            ..Flags::default()
+            ..SuiteConfig::default()
         };
-        for id in ["e04", "e10"] {
-            let exp = by_id(id).unwrap();
-            // Would panic on a lemma violation; completing is the pass.
-            let records = run_experiment(&exp, &flags).unwrap();
-            assert!(!records.is_empty());
+        // e04 (Lemma 4.2) and e10 (Lemma 6.1) carry the paper's
+        // inequalities as scenario asserts; a violation now names the
+        // cell instead of panicking.
+        let subset: Vec<Scenario> = scenarios
+            .into_iter()
+            .filter(|s| s.id == "e04" || s.id == "e10")
+            .collect();
+        assert_eq!(subset.len(), 2);
+        let report = run_suite_scenarios(&subset, &cfg).unwrap();
+        assert!(report.is_clean(), "{}", report.render_table());
+        assert!(report.scenarios.iter().all(|s| s.checks > 0));
+    }
+
+    #[test]
+    fn derive_hooks_resolve_by_name() {
+        for (name, _) in DERIVE_HOOKS {
+            assert!(derive_by_name(name).is_some(), "{name}");
         }
+        assert!(derive_by_name("frobnicate").is_none());
+        // The table is sorted so the docs render predictably.
+        let names: Vec<&str> = DERIVE_HOOKS.iter().map(|(n, _)| *n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
     }
 }

@@ -1,12 +1,14 @@
 //! The experiment harness: declarative scenario grids, a parallel sweep
-//! engine, machine-readable results, and the registry that defines every
-//! `e01`–`e16` experiment.
+//! engine, machine-readable results, and the scenario-suite runner that
+//! executes the committed `scenarios/*.scn` files (every `e01`–`e17`
+//! experiment is such a file — data, not Rust).
 //!
 //! Each experiment is a thin binary under `src/bin/` that calls
-//! [`experiment_main`]; `all_experiments` runs the whole registry
-//! in-process via [`suite_main`]. All binaries share the same flags
-//! (`--smoke`, `--json`, `--csv`, `--threads N`, `--shard-size N`,
-//! `--out PATH`, `--max-ticks N`) — see [`output::FLAGS_USAGE`].
+//! [`experiment_main`]; `all_experiments` runs the whole committed suite
+//! in-process via [`suite_main`], and `doall test --suite <dir>` runs
+//! any scenario directory. All binaries share the same flags (`--smoke`,
+//! `--json`, `--csv`, `--threads N`, `--shard-size N`, `--out PATH`,
+//! `--max-ticks N`) — see [`output::FLAGS_USAGE`].
 //!
 //! ```text
 //! cargo run --release -p doall-bench --bin all_experiments            # full tables
@@ -14,9 +16,12 @@
 //!     --smoke --json --out bench-smoke.json                          # the CI artifact
 //! ```
 //!
-//! The module split mirrors the pipeline: [`grid`] (what to run) →
-//! [`sweep`] (run it, in parallel, deterministically) → [`output`]
-//! (tables / JSON / CSV), with [`experiments`] holding the specs.
+//! The module split mirrors the pipeline: [`scenario`] (the `*.scn` file
+//! format: grids + assertions) → [`grid`] (what to run) → [`sweep`] (run
+//! it, in parallel, deterministically) → [`output`] (tables / JSON /
+//! CSV), with [`suite`] orchestrating discovery, assertion evaluation,
+//! and the pass/fail report, and [`experiments`] holding the named
+//! derived-metric hooks plus the binary entry points.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,15 +30,21 @@ pub mod compare;
 pub mod experiments;
 pub mod grid;
 pub mod output;
+pub mod scenario;
+pub mod suite;
 pub mod sweep;
 
 pub use compare::{
     compare, compare_files, load_result_set, parse_result_set, BaselineSet, CellDiff, CellKey,
     CellStatus, CompareError, Comparison, MetricDelta, DIFF_SCHEMA_VERSION,
 };
-pub use experiments::{by_id, experiment_main, registry, run_experiment, suite_main, Experiment};
+pub use experiments::{derive_by_name, experiment_main, scenarios_dir, suite_main, DeriveFn};
 pub use grid::{AdversarySpec, Cell, CrashStagger, Grid, GridError};
 pub use output::{Flags, Format, Record, ResultSet, SCHEMA_VERSION};
+pub use scenario::{Assertion, Scenario, ScenarioError};
+pub use suite::{
+    load_dir, run_scenario, run_suite, AssertionFailure, ScenarioOutcome, SuiteConfig, SuiteReport,
+};
 pub use sweep::{
     effective_shard_size, run_cells, run_cells_with_stats, CellMeasurement, SweepConfig,
     SweepError, SweepStats,

@@ -262,6 +262,9 @@ Shared experiment flags:
                    (diff table on stderr; any drift makes the binary exit 1)
   --tolerance X    relative drift tolerance for --compare (default 0 = exact)
   --help           print this help
+
+Scenario assertion failures (the `assert` lines of the *.scn files) are
+reported on stderr and also make the binary exit 1.
 ";
 
 /// Parses the shared flags from an argument vector (without the program

@@ -6,6 +6,10 @@
 //! * `sweep`    — run a scenario grid (algorithm × adversary × shape × d)
 //!   through the parallel sweep harness, with table/JSON/CSV output and
 //!   optional baseline comparison (`--compare`);
+//! * `test`     — run a directory of declarative `*.scn` scenario files
+//!   through the suite runner: grids execute on the sweep engine, each
+//!   scenario's `assert` lines are evaluated, and an aggregated
+//!   pass/fail table is rendered (optionally diffed against a baseline);
 //! * `compare`  — diff two sweep-result JSON files cell by cell;
 //! * `contention` — contention report for a random schedule list;
 //! * `bounds`   — print every closed-form bound for `(p, t, d)`.
@@ -28,8 +32,10 @@ use doall_bench::grid::{
     Grid,
 };
 use doall_bench::output::{emit, Flags, Format, Record, ResultSet};
+use doall_bench::suite::{load_dir, run_suite, SuiteConfig};
 use doall_bench::sweep::{run_cells, SweepConfig};
 use std::fmt;
+use std::path::Path;
 
 /// Tick budget for `simulate` and CLI sweeps (generous: the CLI accepts
 /// paper-scale lower-bound scenarios that legitimately run long).
@@ -52,6 +58,9 @@ pub enum Command {
     Simulate(RunSpec),
     /// Run a scenario grid through the parallel sweep harness.
     Sweep(SweepSpec),
+    /// Run a declarative scenario suite (`*.scn` files) and evaluate its
+    /// assertions.
+    Test(TestSpec),
     /// Diff two sweep-result JSON files cell by cell.
     Compare(CompareSpec),
     /// Contention report for a random list of `p` schedules over `[n]`.
@@ -100,6 +109,33 @@ pub struct SweepSpec {
     /// Drift tolerance for `--compare` (default 0 — results are
     /// deterministic, so any drift on an unchanged grid is a regression).
     pub tolerance: f64,
+}
+
+/// Parameters of the `test` subcommand: a scenario directory plus the
+/// execution/output/baseline options shared with `sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TestSpec {
+    /// Directory holding the `*.scn` files (searched recursively, run in
+    /// sorted path order).
+    pub suite: String,
+    /// Run each scenario's smoke grids instead of the full grids.
+    pub smoke: bool,
+    /// Restrict the run to these scenario ids (unknown ids are errors).
+    pub only: Option<Vec<String>>,
+    /// Worker threads (default: available parallelism). Wall-clock only.
+    pub threads: Option<usize>,
+    /// Replicates per scheduled shard (default: auto). Wall-clock only.
+    pub shard_size: Option<u64>,
+    /// Tick-cutoff override (default: each scenario's own `max_ticks`).
+    pub max_ticks: Option<u64>,
+    /// Baseline result-set file to diff the merged records against.
+    pub baseline: Option<String>,
+    /// Drift tolerance for `--baseline` (default 0 = exact).
+    pub tolerance: f64,
+    /// Emit the report as JSON instead of the pass/fail table.
+    pub json: bool,
+    /// Write the rendered report here instead of stdout.
+    pub out: Option<String>,
 }
 
 /// Parameters of the `compare` subcommand.
@@ -162,6 +198,9 @@ USAGE:
                    [--out PATH] [--compare BASELINE.json] [--tolerance X]
   doall sweep      --algo A -p P -t T [-d D] [--adversary ADV] [--seed S]
                    (single-algorithm shorthand; no -d sweeps d = 1,2,4,… up to t)
+  doall test       --suite DIR [--smoke] [--only ID,...] [--baseline BASELINE.json]
+                   [--tolerance X] [--threads N] [--shard-size N] [--max-ticks N]
+                   [--json] [--out PATH]
   doall compare    OLD.json NEW.json [--tolerance X] [--json] [--out PATH]
   doall contention -p P -n N [--seed S]
   doall bounds     -p P -t T -d D
@@ -197,6 +236,17 @@ deterministic seeding, so --threads and --shard-size change wall-clock
 only, never a number — a single huge cell spreads across every worker.
 --json / --csv emit the machine-readable schema CI archives (see
 BENCH_sweep.json).
+
+`test` discovers every *.scn file under --suite (recursively, sorted by
+path), runs each scenario's grids through the same sweep harness, and
+evaluates its `assert` lines against the summarized metrics. The report
+is an aggregated pass/fail table (or --json); each violated assertion
+names the exact offending cell (algo, adversary, backend, p, t, d,
+seeds, seed) with observed vs expected values. --smoke substitutes each
+scenario's smoke grids; --baseline diffs the merged records against a
+committed result set. Assertion failures and baseline drift exit 1;
+unreadable suites or malformed scenarios exit 2. The committed
+scenarios/ directory is the paper's experiment suite (e01–e17).
 
 `compare` (and `sweep --compare`) matches cells of two result sets by
 (experiment, algo, adversary, backend, p, t, d, seeds) — records
@@ -386,6 +436,80 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 compare,
                 tolerance,
             }))
+        }
+        "test" => {
+            let mut suite = None;
+            let mut smoke = false;
+            let mut only = None;
+            let mut threads = None;
+            let mut shard_size = None;
+            let mut max_ticks = None;
+            let mut baseline = None;
+            let mut tolerance = 0.0f64;
+            let mut json = false;
+            let mut out = None;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| err(format!("flag {flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--suite" => suite = Some(value()?.clone()),
+                    "--smoke" => smoke = true,
+                    "--only" => {
+                        only = Some(
+                            value()?
+                                .split(',')
+                                .map(str::trim)
+                                .filter(|s| !s.is_empty())
+                                .map(String::from)
+                                .collect::<Vec<_>>(),
+                        );
+                    }
+                    "--threads" => {
+                        let n = parse_num(value()?, "--threads")?;
+                        if n == 0 {
+                            return Err(err("--threads must be at least 1"));
+                        }
+                        threads = Some(n);
+                    }
+                    "--shard-size" => {
+                        let n = parse_num(value()?, "--shard-size")? as u64;
+                        if n == 0 {
+                            return Err(err("--shard-size must be at least 1"));
+                        }
+                        shard_size = Some(n);
+                    }
+                    "--max-ticks" => {
+                        let n = parse_num(value()?, "--max-ticks")? as u64;
+                        if n == 0 {
+                            return Err(err("--max-ticks must be at least 1"));
+                        }
+                        max_ticks = Some(n);
+                    }
+                    "--baseline" => baseline = Some(value()?.clone()),
+                    "--tolerance" => tolerance = parse_tolerance(value()?)?,
+                    "--json" => json = true,
+                    "--out" => out = Some(value()?.clone()),
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            let spec = TestSpec {
+                suite: suite.ok_or_else(|| err("--suite is required"))?,
+                smoke,
+                only,
+                threads,
+                shard_size,
+                max_ticks,
+                baseline,
+                tolerance,
+                json,
+                out,
+            };
+            if spec.only.as_ref().is_some_and(Vec::is_empty) {
+                return Err(err("--only needs at least one scenario id"));
+            }
+            Ok(Command::Test(spec))
         }
         "compare" => {
             let mut files: Vec<String> = Vec::new();
@@ -630,6 +754,47 @@ pub fn execute(command: &Command) -> Result<Outcome, CliError> {
                 }
             }
             Ok(Outcome::Clean)
+        }
+        Command::Test(spec) => {
+            let mut scenarios = load_dir(Path::new(&spec.suite)).map_err(err)?;
+            if let Some(only) = &spec.only {
+                for id in only {
+                    if !scenarios.iter().any(|s| &s.id == id) {
+                        return Err(err(format!(
+                            "unknown scenario `{id}` (not in {})",
+                            spec.suite
+                        )));
+                    }
+                }
+                scenarios.retain(|s| only.contains(&s.id));
+            }
+            let cfg = SuiteConfig {
+                smoke: spec.smoke,
+                threads: spec.threads,
+                shard_size: spec.shard_size,
+                max_ticks: spec.max_ticks,
+            };
+            let mut report = run_suite(&scenarios, &cfg).map_err(err)?;
+            if let Some(baseline_path) = &spec.baseline {
+                let baseline = load_result_set(baseline_path).map_err(|e| err(e.to_string()))?;
+                let current = BaselineSet::of(&report.results);
+                report.comparison = Some(compare(&baseline, &current, spec.tolerance));
+            }
+            let rendered = if spec.json {
+                report.render_json()
+            } else {
+                report.render_table()
+            };
+            match &spec.out {
+                Some(path) => std::fs::write(path, rendered)
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?,
+                None => print!("{rendered}"),
+            }
+            Ok(if report.is_clean() {
+                Outcome::Clean
+            } else {
+                Outcome::Drift
+            })
         }
         Command::Compare(spec) => {
             let comparison = compare_files(&spec.old, &spec.new, spec.tolerance)
@@ -1158,6 +1323,119 @@ mod tests {
         for f in [base.clone(), format!("{base}.2"), diff_out] {
             let _ = std::fs::remove_file(f);
         }
+    }
+
+    #[test]
+    fn parses_test_subcommand() {
+        assert_eq!(
+            parse(&args("test --suite scenarios/")).unwrap(),
+            Command::Test(TestSpec {
+                suite: "scenarios/".to_string(),
+                smoke: false,
+                only: None,
+                threads: None,
+                shard_size: None,
+                max_ticks: None,
+                baseline: None,
+                tolerance: 0.0,
+                json: false,
+                out: None,
+            })
+        );
+        match parse(&args(
+            "test --suite scenarios/ --smoke --only e01,e05 --threads 2 --shard-size 1 \
+             --max-ticks 1000 --baseline base.json --tolerance 0.5 --json --out report.json",
+        ))
+        .unwrap()
+        {
+            Command::Test(spec) => {
+                assert!(spec.smoke && spec.json);
+                assert_eq!(
+                    spec.only.as_deref(),
+                    Some(&["e01".to_string(), "e05".to_string()][..])
+                );
+                assert_eq!(spec.threads, Some(2));
+                assert_eq!(spec.shard_size, Some(1));
+                assert_eq!(spec.max_ticks, Some(1000));
+                assert_eq!(spec.baseline.as_deref(), Some("base.json"));
+                assert_eq!(spec.tolerance, 0.5);
+                assert_eq!(spec.out.as_deref(), Some("report.json"));
+            }
+            other => panic!("wrong command: {other:?}"),
+        }
+        assert!(parse(&args("test")).is_err(), "--suite is required");
+        assert!(parse(&args("test --suite")).is_err(), "needs a value");
+        assert!(
+            parse(&args("test --suite s --only ,")).is_err(),
+            "empty ids"
+        );
+        assert!(parse(&args("test --suite s --threads 0")).is_err());
+        assert!(parse(&args("test --suite s --frob")).is_err());
+    }
+
+    #[test]
+    fn execute_test_runs_a_suite_and_reports_via_outcome() {
+        let dir = std::env::temp_dir().join(format!("doall_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let passing = "id = pass\n\
+                       grid = algos=soloall advs=unit shapes=2x4 ds=1 seeds=1 seed=0\n\
+                       assert work >= t\n";
+        std::fs::write(dir.join("pass.scn"), passing).unwrap();
+        let suite = dir.to_str().unwrap().to_string();
+        let report = dir.join("report.txt");
+        let report_path = report.to_str().unwrap().to_string();
+
+        // A clean suite run writes its table and exits 0.
+        let base = dir.join("base.json");
+        let base_path = base.to_str().unwrap().to_string();
+        let cmd = parse(&args(&format!("test --suite {suite} --out {report_path}"))).unwrap();
+        assert_eq!(execute(&cmd).unwrap(), Outcome::Clean);
+        let table = std::fs::read_to_string(&report).unwrap();
+        assert!(table.contains("pass"), "{table}");
+        assert!(table.contains("total"), "{table}");
+
+        // Build a baseline from the suite's own records and verify the
+        // baseline path is wired: identical rerun clean, doctored drift.
+        let scenarios = load_dir(Path::new(&suite)).unwrap();
+        let rep = run_suite(&scenarios, &SuiteConfig::default()).unwrap();
+        std::fs::write(&base, rep.results.to_json()).unwrap();
+        let cmd = parse(&args(&format!(
+            "test --suite {suite} --baseline {base_path}"
+        )))
+        .unwrap();
+        assert_eq!(execute(&cmd).unwrap(), Outcome::Clean);
+        let doctored = std::fs::read_to_string(&base).unwrap().replacen(
+            "\"mean_work\": ",
+            "\"mean_work\": 9",
+            1,
+        );
+        std::fs::write(&base, doctored).unwrap();
+        assert_eq!(execute(&cmd).unwrap(), Outcome::Drift);
+
+        // A failing assertion is Drift (exit 1), with the cell named in
+        // the JSON report on stdout.
+        let failing = "id = fail\n\
+                       grid = algos=soloall advs=unit shapes=2x4 ds=1 seeds=1 seed=0\n\
+                       assert work <= 1\n";
+        std::fs::write(dir.join("fail.scn"), failing).unwrap();
+        let cmd = parse(&args(&format!("test --suite {suite} --json"))).unwrap();
+        assert_eq!(execute(&cmd).unwrap(), Outcome::Drift);
+
+        // --only filters; unknown ids are errors (exit 2).
+        let cmd = parse(&args(&format!("test --suite {suite} --only pass"))).unwrap();
+        assert_eq!(execute(&cmd).unwrap(), Outcome::Clean);
+        let cmd = parse(&args(&format!("test --suite {suite} --only nope"))).unwrap();
+        let e = execute(&cmd).unwrap_err();
+        assert!(e.to_string().contains("unknown scenario `nope`"), "{e}");
+
+        // Unreadable suites and malformed scenarios are errors, not drift.
+        let cmd = parse(&args("test --suite /nonexistent-doall")).unwrap();
+        assert!(execute(&cmd).is_err());
+        std::fs::write(dir.join("bad.scn"), "id = bad\nbogus line\n").unwrap();
+        let cmd = parse(&args(&format!("test --suite {suite}"))).unwrap();
+        let e = execute(&cmd).unwrap_err();
+        assert!(e.to_string().contains("bad.scn"), "{e}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
