@@ -131,9 +131,11 @@ impl DoAllProcess for DaProcess {
         if let Some(cursor) = self.cursor.as_mut() {
             let task = cursor
                 .next_task()
+                // lint:allow(H001) — invariant: `self.cursor` is set to None the step it exhausts
                 .expect("cursor is cleared when exhausted");
             if cursor.is_finished() {
                 self.cursor = None;
+                // lint:allow(H001) — invariant: a live cursor implies a leaf frame on the stack
                 let leaf = self.stack.last().expect("leaf frame present").node;
                 let bits = self.retire(leaf);
                 return StepOutcome::perform_and_broadcast(task, bits);
@@ -159,8 +161,10 @@ impl DoAllProcess for DaProcess {
             // Real leaf (dummies are pre-marked, handled above).
             let job = shape
                 .job_of_leaf(node)
+                // lint:allow(H001) — invariant: dummy leaves are pre-marked, so this leaf has a job
                 .expect("unmarked leaves correspond to real jobs");
             let mut cursor = self.shared.job_map.cursor(JobId::new(job));
+            // lint:allow(H001) — invariant: JobMap never creates empty jobs
             let task = cursor.next_task().expect("jobs are nonempty");
             if cursor.is_finished() {
                 // Single-task job: perform + mark + multicast in one step.

@@ -175,7 +175,9 @@ impl DoAllProcess for PaProcess {
             self.current = Some((job, self.job_map.cursor(job)));
         }
 
+        // lint:allow(H001) — invariant: `self.current` was filled two lines up
         let (job, cursor) = self.current.as_mut().expect("set above");
+        // lint:allow(H001) — invariant: `self.current` is set to None the step it exhausts
         let task = cursor.next_task().expect("cursor cleared when exhausted");
         if cursor.is_finished() {
             let job = *job;

@@ -280,6 +280,7 @@ fn run_suite(only: Option<&str>, args: &[String]) -> Result<bool, String> {
 }
 
 fn main_with(only: Option<&str>) {
+    // lint:allow(D003) — CLI entry point: args select which experiments run, never reach a record
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run_suite(only, &args) {
         Ok(true) => {}

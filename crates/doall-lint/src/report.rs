@@ -1,0 +1,192 @@
+//! Deterministic rendering of lint results: a `path:line:`-anchored text
+//! table and a hand-rolled JSON document (no serde), both byte-identical
+//! across runs, discovery orders, and machines.
+
+use crate::rules::Diagnostic;
+use std::fmt::Write as _;
+
+/// The outcome of one lint run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintReport {
+    /// Unsuppressed findings, sorted by `(path, line, rule)`.
+    pub diagnostics: Vec<Diagnostic>,
+    /// How many `*.rs` files were scanned.
+    pub files_scanned: usize,
+    /// How many would-be diagnostics a `lint:allow` silenced.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// No diagnostics — the process should exit 0.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// The human-readable report: one `path:line: RULE message` line per
+    /// finding plus a summary trailer.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}:{}: {} {}", d.path, d.line, d.rule, d.message);
+        }
+        if self.is_clean() {
+            let _ = writeln!(
+                out,
+                "doall lint: clean — {} files scanned, {} suppression{} honored",
+                self.files_scanned,
+                self.suppressed,
+                plural(self.suppressed)
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "doall lint: {} diagnostic{} in {} files scanned ({} suppressed)",
+                self.diagnostics.len(),
+                plural(self.diagnostics.len()),
+                self.files_scanned,
+                self.suppressed
+            );
+        }
+        out
+    }
+
+    /// The machine-readable report CI archives as an artifact.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"tool\": \"doall-lint\",\n");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        let _ = writeln!(out, "  \"clean\": {},", self.is_clean());
+        out.push_str("  \"diagnostics\": [");
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {");
+            let _ = write!(out, "\"rule\": \"{}\", ", d.rule);
+            let _ = write!(out, "\"path\": \"{}\", ", escape(&d.path));
+            let _ = write!(out, "\"line\": {}, ", d.line);
+            let _ = write!(out, "\"message\": \"{}\"", escape(&d.message));
+            out.push('}');
+        }
+        if self.diagnostics.is_empty() {
+            out.push_str("]\n}\n");
+        } else {
+            out.push_str("\n  ]\n}\n");
+        }
+        out
+    }
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Minimal JSON string escaping (paths and messages are ASCII-ish, but
+/// quotes/backslashes/control characters must not corrupt the document).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleId;
+
+    fn diag(path: &str, line: usize, rule: RuleId) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: format!("{} violated", rule.summary()),
+        }
+    }
+
+    #[test]
+    fn clean_report_renders_summary_only() {
+        let r = LintReport {
+            diagnostics: vec![],
+            files_scanned: 12,
+            suppressed: 1,
+        };
+        let text = r.render_text();
+        assert!(text.contains("clean"), "{text}");
+        assert!(text.contains("12 files"), "{text}");
+        assert!(text.contains("1 suppression honored"), "{text}");
+        assert!(r.is_clean());
+        let json = r.render_json();
+        assert!(json.contains("\"clean\": true"), "{json}");
+        assert!(json.contains("\"diagnostics\": []"), "{json}");
+    }
+
+    #[test]
+    fn findings_render_with_exact_anchors() {
+        let r = LintReport {
+            diagnostics: vec![
+                diag("crates/doall-sim/src/a.rs", 41, RuleId::D001),
+                diag("src/lib.rs", 1, RuleId::H002),
+            ],
+            files_scanned: 3,
+            suppressed: 0,
+        };
+        let text = r.render_text();
+        assert!(
+            text.contains("crates/doall-sim/src/a.rs:41: D001"),
+            "{text}"
+        );
+        assert!(text.contains("src/lib.rs:1: H002"), "{text}");
+        assert!(text.contains("2 diagnostics in 3 files"), "{text}");
+        let json = r.render_json();
+        assert!(json.contains("\"rule\": \"D001\""), "{json}");
+        assert!(json.contains("\"line\": 41"), "{json}");
+        assert!(json.contains("\"clean\": false"), "{json}");
+    }
+
+    #[test]
+    fn json_escapes_hostile_strings() {
+        let r = LintReport {
+            diagnostics: vec![Diagnostic {
+                rule: RuleId::D001,
+                path: "a\"b\\c.rs".to_string(),
+                line: 1,
+                message: "tab\there".to_string(),
+            }],
+            files_scanned: 1,
+            suppressed: 0,
+        };
+        let json = r.render_json();
+        assert!(json.contains("a\\\"b\\\\c.rs"), "{json}");
+        assert!(json.contains("tab\\there"), "{json}");
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let r = LintReport {
+            diagnostics: vec![diag("x.rs", 2, RuleId::H001)],
+            files_scanned: 1,
+            suppressed: 2,
+        };
+        assert_eq!(r.render_text(), r.render_text());
+        assert_eq!(r.render_json(), r.render_json());
+    }
+}

@@ -1,0 +1,450 @@
+//! Source masking: reduce a Rust file to the lines of *shipped code* the
+//! rules are allowed to fire on.
+//!
+//! Two passes over the text, both hand-rolled (no syn, no proc-macro
+//! machinery — the same no-dependency culture as the `.scn` parser):
+//!
+//! 1. a character state machine blanks comments (line, nested block,
+//!    doc), string literals (plain, raw `r#"…"#`, byte, escapes), and
+//!    character literals (distinguished from lifetimes by lookahead),
+//!    preserving the line structure so diagnostics keep exact anchors;
+//! 2. a brace-depth walker blanks *test regions*: any item introduced by
+//!    `#[cfg(test)]` or `#[test]`, and any `mod tests { … }` block.
+//!
+//! The masked lines contain only code that compiles into the shipped
+//! artifact; `HashSet` in a doc example, `Instant::now` in a comment, or
+//! `unwrap()` inside `mod tests` can never produce a diagnostic.
+
+/// A file reduced to rule-scannable form.
+#[derive(Debug)]
+pub struct MaskedFile {
+    /// The original lines, verbatim — suppression comments
+    /// (`lint:allow(...)`) are read from here, since pass 1 blanks them
+    /// from the code view.
+    pub raw_lines: Vec<String>,
+    /// The same lines with comments, literals, and test regions blanked
+    /// to spaces. Index `i` is line `i + 1` of the file.
+    pub code_lines: Vec<String>,
+}
+
+/// Masks `text` (see the module docs for what is blanked).
+#[must_use]
+pub fn mask(text: &str) -> MaskedFile {
+    let raw_lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let without_literals = blank_comments_and_literals(text);
+    let code_lines = blank_test_regions(&without_literals);
+    MaskedFile {
+        raw_lines,
+        code_lines,
+    }
+}
+
+/// Pass 1: comments and literals become spaces; newlines survive.
+fn blank_comments_and_literals(text: &str) -> Vec<String> {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        CharLit,
+    }
+    let chars: Vec<char> = text.chars().collect();
+    let mut out = String::with_capacity(text.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            out.push('\n');
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    state = State::LineComment;
+                    out.push(' ');
+                    i += 1;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    // A quote opens a raw string when immediately preceded
+                    // by `r`/`br` plus hashes (`r"`, `r#"`, `br##"`, …);
+                    // the prefix chars were already emitted as code, which
+                    // is harmless — they form no token the rules match.
+                    let mut j = i;
+                    let mut hashes = 0;
+                    while j > 0 && chars[j - 1] == '#' {
+                        hashes += 1;
+                        j -= 1;
+                    }
+                    let rawness = j > 0
+                        && chars[j - 1] == 'r'
+                        && (j < 2 || !is_ident(chars[j - 2]) || chars[j - 2] == 'b');
+                    if rawness {
+                        state = State::RawStr(hashes);
+                    } else {
+                        state = State::Str;
+                    }
+                    out.push(' ');
+                    i += 1;
+                }
+                '\'' => {
+                    // Lifetime or char literal? `'\…'` and `'x'` are
+                    // literals; `'a` (no closing quote nearby) and `'_`
+                    // are lifetimes, left in the code view.
+                    let next = chars.get(i + 1);
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(&n) => chars.get(i + 2) == Some(&'\'') && n != '\'',
+                        None => false,
+                    };
+                    if is_char {
+                        state = State::CharLit;
+                        out.push(' ');
+                    } else {
+                        out.push(c);
+                    }
+                    i += 1;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                out.push(' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => match c {
+                // Escapes: blank the pair, but a string-continuation
+                // backslash before a newline must keep the newline so
+                // line anchors stay exact.
+                '\\' => {
+                    if chars.get(i + 1) == Some(&'\n') {
+                        out.push_str(" \n");
+                    } else {
+                        out.push_str("  ");
+                    }
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Code;
+                    out.push(' ');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+            State::RawStr(hashes) => {
+                let closes = c == '"' && (1..=hashes).all(|k| chars.get(i + k) == Some(&'#'));
+                if closes {
+                    state = State::Code;
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    i += 1 + hashes;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::CharLit => match c {
+                '\\' => {
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '\'' => {
+                    state = State::Code;
+                    out.push(' ');
+                    i += 1;
+                }
+                _ => {
+                    out.push(' ');
+                    i += 1;
+                }
+            },
+        }
+    }
+    out.lines().map(str::to_string).collect()
+}
+
+/// Pass 2: blanks test regions from the literal-free line view.
+///
+/// A region starts at `#[cfg(test)]`, `#[test]`, or a `mod tests`
+/// item head and ends at the matching close brace of the item's body
+/// (or at the terminating `;` for brace-less forms like `mod tests;`).
+/// Attributes between the marker and the body (e.g. `#[allow(…)]`) are
+/// blanked with it.
+fn blank_test_regions(lines: &[String]) -> Vec<String> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Region {
+        Code,
+        /// Saw a test marker; blanking until the item's `{` (then
+        /// `Skipping`) or a `;` (then back to `Code`).
+        Pending,
+        /// Inside the braced body; the payload is the brace depth still
+        /// open within the region.
+        Skipping(u32),
+    }
+    let mut region = Region::Code;
+    lines
+        .iter()
+        .map(|line| {
+            let chars: Vec<char> = line.chars().collect();
+            let mut out = String::with_capacity(line.len());
+            let mut i = 0;
+            while i < chars.len() {
+                match region {
+                    Region::Code => {
+                        if let Some(len) = test_marker_at(&chars, i) {
+                            region = Region::Pending;
+                            for _ in 0..len {
+                                out.push(' ');
+                            }
+                            i += len;
+                        } else {
+                            out.push(chars[i]);
+                            i += 1;
+                        }
+                    }
+                    Region::Pending => {
+                        match chars[i] {
+                            '{' => region = Region::Skipping(1),
+                            ';' => region = Region::Code,
+                            _ => {}
+                        }
+                        out.push(' ');
+                        i += 1;
+                    }
+                    Region::Skipping(depth) => {
+                        match chars[i] {
+                            '{' => region = Region::Skipping(depth + 1),
+                            '}' => {
+                                region = if depth == 1 {
+                                    Region::Code
+                                } else {
+                                    Region::Skipping(depth - 1)
+                                };
+                            }
+                            _ => {}
+                        }
+                        out.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// If a test marker starts at `chars[i]`, returns its length.
+fn test_marker_at(chars: &[char], i: usize) -> Option<usize> {
+    for marker in ["#[cfg(test)]", "#[test]"] {
+        if starts_with_at(chars, i, marker) {
+            return Some(marker.chars().count());
+        }
+    }
+    // `mod tests` as an item head (token-bounded on both sides: `mod
+    // tests_util` or `sim_mod tests` must not match).
+    let marker = "mod tests";
+    if starts_with_at(chars, i, marker)
+        && (i == 0 || !is_ident(chars[i - 1]))
+        && chars
+            .get(i + marker.chars().count())
+            .is_none_or(|&c| !is_ident(c))
+    {
+        return Some(marker.chars().count());
+    }
+    None
+}
+
+fn starts_with_at(chars: &[char], i: usize, needle: &str) -> bool {
+    needle
+        .chars()
+        .enumerate()
+        .all(|(k, n)| chars.get(i + k) == Some(&n))
+}
+
+pub(crate) fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code(text: &str) -> String {
+        mask(text).code_lines.join("\n")
+    }
+
+    #[test]
+    fn line_and_block_comments_are_blanked() {
+        let text = "let a = 1; // HashMap here\n/* HashSet */ let b = 2;\n";
+        let masked = code(text);
+        assert!(!masked.contains("HashMap"));
+        assert!(!masked.contains("HashSet"));
+        assert!(masked.contains("let a = 1;"));
+        assert!(masked.contains("let b = 2;"));
+    }
+
+    #[test]
+    fn nested_block_comments_are_blanked() {
+        let text = "/* outer /* HashMap */ still comment */ let x = 1;";
+        let masked = code(text);
+        assert!(!masked.contains("HashMap"));
+        assert!(!masked.contains("still"));
+        assert!(masked.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn doc_comments_and_doc_examples_are_blanked() {
+        let text = "/// use std::collections::HashMap;\n//! Instant::now\npub fn f() {}\n";
+        let masked = code(text);
+        assert!(!masked.contains("HashMap"));
+        assert!(!masked.contains("Instant"));
+        assert!(masked.contains("pub fn f() {}"));
+    }
+
+    #[test]
+    fn string_literals_are_blanked() {
+        let text =
+            "let s = \"HashMap\"; let r = r\"HashSet\"; let h = r#\"panic!\"#; let done = 1;";
+        let masked = code(text);
+        assert!(!masked.contains("HashMap"));
+        assert!(!masked.contains("HashSet"));
+        assert!(!masked.contains("panic!"));
+        assert!(masked.contains("let done = 1;"));
+    }
+
+    #[test]
+    fn string_continuation_keeps_line_structure() {
+        let text = "let s = \"abc\\\n   HashMap\";\nlet t = 3;\n";
+        let m = mask(text);
+        assert_eq!(m.code_lines.len(), 3);
+        assert!(!m.code_lines.join("\n").contains("HashMap"));
+        assert!(m.code_lines[2].contains("let t = 3;"));
+    }
+
+    #[test]
+    fn escaped_quotes_do_not_end_strings() {
+        let text = "let s = \"a\\\"HashMap\\\"b\"; let t = 2;";
+        let masked = code(text);
+        assert!(!masked.contains("HashMap"));
+        assert!(masked.contains("let t = 2;"));
+    }
+
+    #[test]
+    fn char_literals_blank_but_lifetimes_survive() {
+        let text = "fn f<'a>(x: &'a str) { let q = '\"'; let z = 'Z'; let w = b'Y'; }";
+        let masked = code(text);
+        assert!(masked.contains("<'a>"), "{masked}");
+        assert!(masked.contains("&'a str"), "{masked}");
+        assert!(!masked.contains('Z'), "char literal payload blanked");
+        assert!(!masked.contains('Y'), "byte-char payload blanked");
+        // The `'\"'` char literal must not open a string.
+        assert!(masked.contains("let z ="), "{masked}");
+    }
+
+    #[test]
+    fn cfg_test_regions_are_blanked_to_the_matching_brace() {
+        let text = "pub fn shipped() {}\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n\
+                        fn helper() { x.unwrap(); }\n\
+                        #[test]\n\
+                        fn t() { assert!(map.contains_key(&k)); }\n\
+                    }\n\
+                    pub fn also_shipped() { real(); }\n";
+        let masked = code(text);
+        assert!(!masked.contains("unwrap"));
+        assert!(!masked.contains("contains_key"));
+        assert!(masked.contains("pub fn shipped() {}"));
+        assert!(masked.contains("pub fn also_shipped() { real(); }"));
+    }
+
+    #[test]
+    fn bare_test_attr_and_mod_tests_are_regions_too() {
+        let text = "#[test]\nfn t() { boom.unwrap(); }\nfn keep() {}\n\
+                    mod tests { fn u() { panic!(); } }\nfn keep2() {}\n";
+        let masked = code(text);
+        assert!(!masked.contains("unwrap"));
+        assert!(!masked.contains("panic!"));
+        assert!(masked.contains("fn keep() {}"));
+        assert!(masked.contains("fn keep2() {}"));
+    }
+
+    #[test]
+    fn mod_tests_needs_token_boundaries() {
+        let text = "mod tests_util { pub fn f() { x.unwrap(); } }\n";
+        let masked = code(text);
+        assert!(masked.contains("unwrap"), "tests_util is not a test mod");
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_confuse_region_tracking() {
+        let text = "#[cfg(test)]\nmod tests { fn f() { let s = \"}\"; x.unwrap(); } }\n\
+                    fn shipped() { y.unwrap(); }\n";
+        let masked = code(text);
+        // Pass 1 blanks the string before pass 2 counts braces, so the
+        // `}` in the literal cannot close the region early…
+        let shipped_line = masked.lines().last().unwrap();
+        assert!(shipped_line.contains("unwrap"), "{masked}");
+        // …and the test-region unwrap is gone.
+        assert_eq!(masked.matches("unwrap").count(), 1, "{masked}");
+    }
+
+    #[test]
+    fn cfg_test_on_single_item_ends_at_its_brace() {
+        let text = "#[cfg(test)]\n#[allow(dead_code)]\nfn helper() { a.unwrap() }\n\
+                    fn shipped() { b.expect(\"x\") }\n";
+        let masked = code(text);
+        assert!(!masked.contains("unwrap"));
+        assert!(masked.contains("expect"));
+    }
+
+    #[test]
+    fn semicolon_ends_braceless_regions() {
+        let text = "#[cfg(test)]\nmod tests;\nfn shipped() { c.unwrap() }\n";
+        let masked = code(text);
+        assert!(masked.contains("unwrap"), "{masked}");
+    }
+
+    #[test]
+    fn line_count_is_preserved() {
+        let text = "a\n\nb /* c\nd */ e\n\"f\ng\"\n";
+        let m = mask(text);
+        assert_eq!(m.raw_lines.len(), m.code_lines.len());
+        assert_eq!(m.raw_lines.len(), 6);
+    }
+}

@@ -1,0 +1,144 @@
+//! Deterministic workspace source discovery.
+//!
+//! Walks the workspace root recursively, collecting every `*.rs` file as
+//! a `/`-separated path relative to the root, **sorted by path** — the
+//! rule engine re-sorts diagnostics anyway, but a canonical discovery
+//! order makes `files scanned` counts and debugging stable across
+//! filesystems.
+//!
+//! Skipped subtrees:
+//!
+//! * `vendor/` — vendored dependency stubs are not ours to lint;
+//! * `target/` — build products;
+//! * `fixtures/` — lint test corpora are *deliberate* violations
+//!   (see `crates/doall-lint/tests/fixtures/`);
+//! * dot-directories (`.git/`, `.github/`, …).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Directory names whose subtrees are never walked.
+const SKIP_DIRS: &[&str] = &["vendor", "target", "fixtures"];
+
+/// Collects every lintable `*.rs` file under `root`, sorted.
+///
+/// # Errors
+///
+/// Returns the first I/O error encountered (unreadable directory);
+/// an unreadable root is an error, not an empty result.
+pub fn discover(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    walk_dir(root, String::new(), &mut files)?;
+    files.sort_unstable();
+    Ok(files)
+}
+
+fn walk_dir(dir: &Path, rel: String, out: &mut Vec<String>) -> io::Result<()> {
+    // Sort entries by name so traversal order (and therefore any I/O
+    // error surfaced) is deterministic regardless of readdir order.
+    let mut entries: Vec<(String, bool)> = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let is_dir = entry.file_type()?.is_dir();
+        entries.push((name, is_dir));
+    }
+    entries.sort_unstable();
+    for (name, is_dir) in entries {
+        if is_dir {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            let child_rel = if rel.is_empty() {
+                name.clone()
+            } else {
+                format!("{rel}/{name}")
+            };
+            walk_dir(&dir.join(&name), child_rel, out)?;
+        } else if name.ends_with(".rs") {
+            let path = if rel.is_empty() {
+                name
+            } else {
+                format!("{rel}/{name}")
+            };
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Ascends from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]` — how the CLI finds what to lint when run
+/// from anywhere inside the repo.
+#[must_use]
+pub fn find_workspace_root(start: &Path) -> Option<std::path::PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn touch(path: &Path) {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(path, "").unwrap();
+    }
+
+    #[test]
+    fn discovers_sorted_and_skips_vendor_target_fixtures_dotdirs() {
+        let root = std::env::temp_dir().join(format!("doall_lint_walk_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        touch(&root.join("src/lib.rs"));
+        touch(&root.join("src/b.rs"));
+        touch(&root.join("crates/x/src/a.rs"));
+        touch(&root.join("crates/x/tests/fixtures/bad.rs"));
+        touch(&root.join("vendor/dep/src/lib.rs"));
+        touch(&root.join("target/debug/build.rs"));
+        touch(&root.join(".git/hook.rs"));
+        touch(&root.join("README.md"));
+        let files = discover(&root).unwrap();
+        assert_eq!(
+            files,
+            vec![
+                "crates/x/src/a.rs".to_string(),
+                "src/b.rs".to_string(),
+                "src/lib.rs".to_string(),
+            ]
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn unreadable_root_is_an_error() {
+        assert!(discover(Path::new("/nonexistent-doall-lint")).is_err());
+    }
+
+    #[test]
+    fn finds_workspace_root_from_nested_dirs() {
+        let root = std::env::temp_dir().join(format!("doall_lint_ws_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        touch(&root.join("Cargo.toml"));
+        fs::write(root.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+        touch(&root.join("crates/x/src/a.rs"));
+        // Nested crate manifests without [workspace] are walked past.
+        fs::write(
+            root.join("crates/x/Cargo.toml"),
+            "[package]\nname = \"x\"\n",
+        )
+        .unwrap();
+        let found = find_workspace_root(&root.join("crates/x/src")).unwrap();
+        assert_eq!(found, root);
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

@@ -1,0 +1,4 @@
+//! D003 fixture: ambient environment in a deterministic crate.
+pub fn seed_from_env() -> Option<String> {
+    std::env::var("DOALL_SEED").ok()
+}

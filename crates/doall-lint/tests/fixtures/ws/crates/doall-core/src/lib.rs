@@ -1,0 +1,2 @@
+//! H002 fixture: a crate root missing `#![forbid(unsafe_code)]`.
+pub fn noop() {}

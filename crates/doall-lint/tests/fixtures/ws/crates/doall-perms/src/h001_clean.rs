@@ -1,0 +1,12 @@
+//! H001 clean counterpart: panics inside test regions never fire.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn doubles() {
+        assert_eq!(super::double(2).checked_mul(1).unwrap(), 4);
+    }
+}

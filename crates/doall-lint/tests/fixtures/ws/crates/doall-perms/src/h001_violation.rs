@@ -1,0 +1,4 @@
+//! H001 fixture: a panicking shortcut in a library crate.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,4 @@
+//! H002 clean counterpart: the root carries the forbid attribute.
+#![forbid(unsafe_code)]
+
+pub fn noop() {}

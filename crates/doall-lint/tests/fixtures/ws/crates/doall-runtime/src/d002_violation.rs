@@ -1,0 +1,4 @@
+//! D002 fixture: a wall-clock read outside the measured-only modules.
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}

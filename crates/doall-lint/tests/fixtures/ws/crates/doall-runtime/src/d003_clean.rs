@@ -1,0 +1,4 @@
+//! D003 clean counterpart: doall-runtime is not a deterministic crate.
+pub fn seed_from_env() -> Option<String> {
+    std::env::var("DOALL_SEED").ok()
+}

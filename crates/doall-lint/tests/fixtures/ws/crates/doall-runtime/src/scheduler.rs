@@ -1,0 +1,4 @@
+//! D002 clean counterpart: scheduler.rs is a measured-only module.
+pub fn now() -> std::time::Instant {
+    std::time::Instant::now()
+}

@@ -1,0 +1,4 @@
+//! D001 clean counterpart: ordered collections are fine.
+use std::collections::BTreeMap;
+
+pub type Index = BTreeMap<u32, u32>;

@@ -1,0 +1,2 @@
+//! D001 fixture: a hash-ordered collection in a deterministic crate.
+use std::collections::HashMap;

@@ -1,0 +1,15 @@
+//! Masking fixture: tokens in comments, strings, and test regions only.
+// A HashMap mentioned in a comment never fires.
+pub const DOC: &str = "HashMap in a string literal";
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn map() {
+        let mut m: HashMap<u8, u8> = HashMap::new();
+        m.insert(1, 2).unwrap_or_default();
+        assert!(m.contains_key(&1));
+    }
+}

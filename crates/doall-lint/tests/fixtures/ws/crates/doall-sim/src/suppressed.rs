@@ -1,0 +1,5 @@
+//! Suppression fixture: same-line and line-above markers.
+use std::collections::HashMap; // lint:allow(D001) — fixture: same-line marker
+// lint:allow(D001) — fixture: marker on the line above
+use std::collections::HashSet;
+use std::collections::HashMap as Unsuppressed;

@@ -1,0 +1,60 @@
+//! Property test: the lint report is a pure function of the file *set*,
+//! not the file *order*. `lint_files` takes an explicit list precisely
+//! so this is testable — a shuffled discovery order (filesystems differ
+//! in readdir order) must render byte-identically to the sorted one,
+//! or CI's archived reports would churn across runners.
+//!
+//! Shuffles are driven by a small deterministic LCG expanded from the
+//! proptest-drawn seed, the same idiom as `doall-bench`'s
+//! `scenario_props.rs` — the failing integer reproduces the permutation
+//! exactly.
+
+use doall_lint::{lint_files, walk, LintOptions};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+
+fn fixture_ws() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+/// A tiny deterministic stream expanding one `u64` seed into the draws
+/// a Fisher–Yates shuffle needs.
+struct Gene(u64);
+
+impl Gene {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 33
+    }
+}
+
+fn shuffle<T>(v: &mut [T], g: &mut Gene) {
+    for i in (1..v.len()).rev() {
+        let j = (g.next() as usize) % (i + 1);
+        v.swap(i, j);
+    }
+}
+
+proptest! {
+    /// The headline property: rendered output (text and JSON) is
+    /// byte-identical across arbitrary file-discovery orders.
+    #[test]
+    fn report_is_independent_of_discovery_order(seed in any::<u64>()) {
+        let root = fixture_ws();
+        let sorted = walk::discover(&root).unwrap();
+        prop_assert!(sorted.len() > 2, "fixture corpus went missing");
+        let opts = LintOptions::default();
+        let baseline = lint_files(&root, &sorted, &opts).unwrap();
+
+        let mut shuffled = sorted.clone();
+        let mut g = Gene(seed);
+        shuffle(&mut shuffled, &mut g);
+        let report = lint_files(&root, &shuffled, &opts).unwrap();
+
+        prop_assert_eq!(report.render_text(), baseline.render_text());
+        prop_assert_eq!(report.render_json(), baseline.render_json());
+    }
+}

@@ -60,6 +60,7 @@ pub fn contention_exact(sigma: &[Permutation]) -> usize {
     Permutation::all(n)
         .map(|rho| contention_wrt(sigma, &rho))
         .max()
+        // lint:allow(H001) — invariant: S_n always has at least the identity
         .expect("S_n is nonempty")
 }
 

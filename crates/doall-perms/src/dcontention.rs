@@ -54,6 +54,7 @@ pub fn d_contention_exact(sigma: &[Permutation], d: usize) -> usize {
     Permutation::all(n)
         .map(|rho| d_contention_wrt(sigma, &rho, d))
         .max()
+        // lint:allow(H001) — invariant: S_n always has at least the identity
         .expect("S_n is nonempty")
 }
 

@@ -38,9 +38,11 @@ pub fn rotation_schedules(count: usize, n: usize) -> Schedules {
         .map(|u| {
             let off = (u * stride) % n;
             Permutation::from_image((0..n).map(|i| ((i + off) % n) as u32).collect())
+                // lint:allow(H001) — invariant: i ↦ i+off mod n is a bijection
                 .expect("rotation is a bijection")
         })
         .collect();
+    // lint:allow(H001) — invariant: count ≥ 1 rotations were just built
     Schedules::from_perms(perms).expect("nonempty by construction")
 }
 
@@ -87,6 +89,7 @@ pub fn affine_schedules(count: usize, n: usize, seed: u64) -> Result<Schedules, 
             let a = multipliers[u % multipliers.len()];
             let b = offsets[u % offsets.len()];
             Permutation::from_image((0..n).map(|i| ((a * i + b) % n) as u32).collect())
+                // lint:allow(H001) — invariant: gcd(a, n) = 1 for prime n, so the map is a bijection
                 .expect("affine map over a prime modulus is a bijection")
         })
         .collect();

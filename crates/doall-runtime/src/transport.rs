@@ -82,6 +82,7 @@ impl ChannelTransport {
                 // Forward everything due.
                 let now = Instant::now();
                 while held.peek().is_some_and(|h| h.due <= now) {
+                    // lint:allow(H001) — invariant: peek() just returned Some
                     let h = held.pop().expect("peeked");
                     let _ = inbox_tx[h.to].send(h.msg);
                 }
@@ -143,6 +144,7 @@ impl ChannelTransport {
     pub fn take_inbox(&mut self, pid: usize) -> Receiver<Message> {
         self.inboxes[pid]
             .take()
+            // lint:allow(H001) — documented `# Panics` contract: one take per processor
             .expect("one inbox receiver per processor")
     }
 
@@ -155,6 +157,7 @@ impl ChannelTransport {
     /// Panics if the router thread panicked.
     pub fn shutdown(self) {
         drop(self.outgoing);
+        // lint:allow(H001) — documented `# Panics` contract: router panics propagate
         self.router.join().expect("router panicked");
     }
 }

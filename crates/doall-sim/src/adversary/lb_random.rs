@@ -30,7 +30,7 @@ use doall_core::{DoAllProcess, ProcId};
 use rand::rngs::StdRng;
 use rand::seq::index::sample;
 use rand::SeedableRng;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Adaptive online lower-bound adversary for randomized algorithms
 /// (Theorem 3.4).
@@ -38,7 +38,10 @@ use std::collections::HashSet;
 pub struct RandomizedLbAdversary {
     stage_len: u64,
     rng: StdRng,
-    defended: HashSet<usize>,
+    // BTreeSet, not HashSet: membership-only today, but a deterministic
+    // container keeps any future iteration (debug dumps, tracing) stable
+    // across processes — the D001 invariant.
+    defended: BTreeSet<usize>,
     frozen: Vec<bool>,
     planned_stage: Option<u64>,
     stages: u64,
@@ -79,7 +82,7 @@ impl RandomizedLbAdversary {
         Self {
             stage_len,
             rng: StdRng::seed_from_u64(seed),
-            defended: HashSet::new(),
+            defended: BTreeSet::new(),
             frozen: Vec::new(),
             planned_stage: None,
             stages: 0,

@@ -173,7 +173,7 @@ impl LowerBoundAdversary {
                 js.push(z);
             }
         }
-        let js_mask: std::collections::HashSet<usize> = js.into_iter().collect();
+        let js_mask: std::collections::BTreeSet<usize> = js.into_iter().collect();
 
         for (pid, set) in sets.iter().enumerate() {
             if set.iter().any(|z| js_mask.contains(z)) {

@@ -31,7 +31,7 @@
 //! lower-bound adversaries.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod adversary;

@@ -259,6 +259,7 @@ impl BroadcastBus {
                         BusPayload::Sealed(Arc::new(std::mem::replace(union, BitSet::new(0))));
                     match &mut group.payload {
                         BusPayload::Sealed(a) => a,
+                        // lint:allow(H001) — invariant: Sealed was assigned on the previous line
                         BusPayload::Building(_) => unreachable!("just sealed"),
                     }
                 }

@@ -139,9 +139,11 @@ impl SimulationBuilder {
     /// number of processor state machines does not match the instance.
     #[must_use]
     pub fn build(self) -> Simulation {
+        // lint:allow(H001) — documented `# Panics` contract of build()
         let procs = self.procs.expect("SimulationBuilder needs .procs(…)");
         let adversary = self
             .adversary
+            // lint:allow(H001) — documented `# Panics` contract of build()
             .expect("SimulationBuilder needs .adversary(…)");
         assert_eq!(
             procs.len(),

@@ -11,6 +11,9 @@
 //!   scenario's `assert` lines are evaluated, and an aggregated
 //!   pass/fail table is rendered (optionally diffed against a baseline);
 //! * `compare`  — diff two sweep-result JSON files cell by cell;
+//! * `lint`     — run the determinism-preserving static analysis over
+//!   the workspace sources (rules D001–D003, H001–H002; see
+//!   `doall-lint`) and report `path:line`-anchored diagnostics;
 //! * `contention` — contention report for a random schedule list;
 //! * `bounds`   — print every closed-form bound for `(p, t, d)`.
 //!
@@ -63,6 +66,8 @@ pub enum Command {
     Test(TestSpec),
     /// Diff two sweep-result JSON files cell by cell.
     Compare(CompareSpec),
+    /// Run the static-analysis rules over the workspace sources.
+    Lint(LintSpec),
     /// Contention report for a random list of `p` schedules over `[n]`.
     Contention {
         /// Number of schedules.
@@ -153,6 +158,20 @@ pub struct CompareSpec {
     pub out: Option<String>,
 }
 
+/// Parameters of the `lint` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintSpec {
+    /// Emit the machine-readable report instead of the text table.
+    pub json: bool,
+    /// Write the rendered report here instead of stdout.
+    pub out: Option<String>,
+    /// Restrict the run to these rule ids (canonical `D001` spellings).
+    pub only: Option<Vec<String>>,
+    /// Workspace root to lint (default: ascend from the current
+    /// directory to the nearest `[workspace]` manifest).
+    pub root: Option<String>,
+}
+
 /// Common parameters of `simulate`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RunSpec {
@@ -202,6 +221,7 @@ USAGE:
                    [--tolerance X] [--threads N] [--shard-size N] [--max-ticks N]
                    [--json] [--out PATH]
   doall compare    OLD.json NEW.json [--tolerance X] [--json] [--out PATH]
+  doall lint       [--json] [--out PATH] [--only RULE,...] [--root DIR]
   doall contention -p P -n N [--seed S]
   doall bounds     -p P -t T -d D
   doall help
@@ -247,6 +267,20 @@ scenario's smoke grids; --baseline diffs the merged records against a
 committed result set. Assertion failures and baseline drift exit 1;
 unreadable suites or malformed scenarios exit 2. The committed
 scenarios/ directory is the paper's experiment suite (e01–e17).
+
+`lint` runs the hand-rolled determinism-preserving static analysis
+(doall-lint) over the workspace sources — skipping vendor/, target/,
+and fixture corpora, with comments, string literals, and
+#[cfg(test)]/mod tests regions masked away. Rules: D001 no
+HashMap/HashSet in deterministic crates; D002 wall-clock reads only in
+doall-runtime's scheduler/transport/fault; D003 no std::env /
+thread::current in deterministic crates; H001 no unwrap/expect/panic
+in library-crate non-test code; H002 every crate root carries
+#![forbid(unsafe_code)]. A finding is silenced by a
+`// lint:allow(RULE) — justification` comment on the offending line or
+the line above. Diagnostics are sorted and byte-identical across runs
+and discovery orders. Exit codes follow compare: 0 clean,
+1 diagnostics, 2 errors.
 
 `compare` (and `sweep --compare`) matches cells of two result sets by
 (experiment, algo, adversary, backend, p, t, d, seeds) — records
@@ -546,6 +580,47 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
                 out,
             }))
         }
+        "lint" => {
+            let mut json = false;
+            let mut out = None;
+            let mut only = None;
+            let mut root = None;
+            while let Some(flag) = it.next() {
+                let mut value = || {
+                    it.next()
+                        .ok_or_else(|| err(format!("flag {flag} needs a value")))
+                };
+                match flag.as_str() {
+                    "--json" => json = true,
+                    "--out" => out = Some(value()?.clone()),
+                    "--only" => {
+                        only = Some(
+                            value()?
+                                .split(',')
+                                .map(str::trim)
+                                .filter(|s| !s.is_empty())
+                                .map(String::from)
+                                .collect::<Vec<_>>(),
+                        );
+                    }
+                    "--root" => root = Some(value()?.clone()),
+                    other => return Err(err(format!("unknown flag {other}"))),
+                }
+            }
+            if only.as_ref().is_some_and(Vec::is_empty) {
+                return Err(err("--only needs at least one rule id"));
+            }
+            // Validate rule ids eagerly so typos fail before any I/O.
+            for id in only.iter().flatten() {
+                doall_lint::RuleId::parse(id).map_err(err)?;
+            }
+            Ok(Command::Lint(LintSpec {
+                json,
+                out,
+                only,
+                root,
+            }))
+        }
         "contention" => {
             let (mut p, mut n, mut seed) = (None, None, 0u64);
             while let Some(flag) = it.next() {
@@ -810,6 +885,41 @@ pub fn execute(command: &Command) -> Result<Outcome, CliError> {
                 None => print!("{rendered}"),
             }
             Ok(if comparison.is_clean() {
+                Outcome::Clean
+            } else {
+                Outcome::Drift
+            })
+        }
+        Command::Lint(spec) => {
+            let root = match &spec.root {
+                Some(r) => std::path::PathBuf::from(r),
+                None => {
+                    let cwd = std::env::current_dir()
+                        .map_err(|e| err(format!("cannot read current dir: {e}")))?;
+                    doall_lint::find_workspace_root(&cwd).ok_or_else(|| {
+                        err("no workspace manifest above the current dir; pass --root")
+                    })?
+                }
+            };
+            let only = spec
+                .only
+                .iter()
+                .flatten()
+                .map(|s| doall_lint::RuleId::parse(s).map_err(err))
+                .collect::<Result<Vec<_>, _>>()?;
+            let report =
+                doall_lint::lint_root(&root, &doall_lint::LintOptions { only }).map_err(err)?;
+            let rendered = if spec.json {
+                report.render_json()
+            } else {
+                report.render_text()
+            };
+            match &spec.out {
+                Some(path) => std::fs::write(path, rendered)
+                    .map_err(|e| err(format!("cannot write {path}: {e}")))?,
+                None => print!("{rendered}"),
+            }
+            Ok(if report.is_clean() {
                 Outcome::Clean
             } else {
                 Outcome::Drift
@@ -1234,6 +1344,76 @@ mod tests {
         assert!(parse(&args("compare a b c")).is_err(), "too many files");
         assert!(parse(&args("compare a b --tolerance -1")).is_err());
         assert!(parse(&args("compare a b --frob")).is_err());
+    }
+
+    #[test]
+    fn parses_lint_subcommand() {
+        assert_eq!(
+            parse(&args("lint")).unwrap(),
+            Command::Lint(LintSpec {
+                json: false,
+                out: None,
+                only: None,
+                root: None,
+            })
+        );
+        assert_eq!(
+            parse(&args(
+                "lint --json --out lint.json --only D001,H001 --root ."
+            ))
+            .unwrap(),
+            Command::Lint(LintSpec {
+                json: true,
+                out: Some("lint.json".to_string()),
+                only: Some(vec!["D001".to_string(), "H001".to_string()]),
+                root: Some(".".to_string()),
+            })
+        );
+        assert!(parse(&args("lint --only")).is_err(), "flag needs a value");
+        assert!(parse(&args("lint --only ,")).is_err(), "empty rule list");
+        assert!(parse(&args("lint --only D999")).is_err(), "unknown rule");
+        assert!(parse(&args("lint --frob")).is_err(), "unknown flag");
+    }
+
+    #[test]
+    fn execute_lint_scans_a_workspace_and_reports_via_outcome() {
+        let dir = std::env::temp_dir().join(format!("doall_cli_lint_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let src = dir.join("crates/doall-sim/src");
+        std::fs::create_dir_all(&src).unwrap();
+        std::fs::write(dir.join("Cargo.toml"), "[workspace]\nmembers = []\n").unwrap();
+        std::fs::write(src.join("probe.rs"), "use std::collections::HashMap;\n").unwrap();
+        let out = dir.join("lint.txt");
+        let dirty = Command::Lint(LintSpec {
+            json: false,
+            out: Some(out.display().to_string()),
+            only: None,
+            root: Some(dir.display().to_string()),
+        });
+        assert_eq!(execute(&dirty).unwrap(), Outcome::Drift);
+        let text = std::fs::read_to_string(&out).unwrap();
+        assert!(
+            text.contains("crates/doall-sim/src/probe.rs:1: D001"),
+            "{text}"
+        );
+        // Restricting to an unrelated rule makes the same tree clean.
+        let clean = Command::Lint(LintSpec {
+            json: true,
+            out: Some(out.display().to_string()),
+            only: Some(vec!["D002".to_string()]),
+            root: Some(dir.display().to_string()),
+        });
+        assert_eq!(execute(&clean).unwrap(), Outcome::Clean);
+        let json = std::fs::read_to_string(&out).unwrap();
+        assert!(json.contains("\"clean\": true"), "{json}");
+        let bad_root = Command::Lint(LintSpec {
+            json: false,
+            out: None,
+            only: None,
+            root: Some(dir.join("nope").display().to_string()),
+        });
+        assert!(execute(&bad_root).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
