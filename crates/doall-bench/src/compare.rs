@@ -1,10 +1,9 @@
-//! Baseline comparison for sweep results: parse two result sets (our own
-//! JSON schema, read by a minimal hand-rolled parser — no serde), match
-//! cells by `(experiment, algo, adversary, backend, p, t, d, seeds)`,
-//! and classify every matched cell as exact or drifting and every
-//! unmatched cell as added or removed. Records without a `backend` field
-//! (every pre-backend baseline) key as `"sim"`, so old files keep
-//! matching.
+//! Baseline comparison for sweep results: parse two result sets (via
+//! the shared [`crate::resultset`] schema module), match cells by
+//! `(experiment, algo, adversary, backend, p, t, d, seeds)`, and
+//! classify every matched cell as exact or drifting and every unmatched
+//! cell as added or removed. Records without a `backend` field (every
+//! pre-backend baseline) key as `"sim"`, so old files keep matching.
 //!
 //! The sweep harness is byte-deterministic per cell (seeds derive from
 //! cell parameters, output carries nothing time- or machine-dependent),
@@ -26,15 +25,21 @@
 //! same pair of files always yields byte-identical output, regardless of
 //! thread counts anywhere upstream.
 
-use crate::output::{json_escape, json_number, ResultSet};
+// Schema types used to live here; the re-export keeps
+// `doall_bench::compare::{parse_result_set, …}` paths compiling.
+pub use crate::resultset::{
+    load_result_set, parse_json, parse_result_set, BaselineSet, CellKey, Json, ResultSetError,
+};
+
+use crate::resultset::{json_escape, json_number};
 use crate::Table;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 use std::fmt;
 use std::fmt::Write as _;
 
 /// Version of the *diff* JSON schema emitted by
 /// [`Comparison::render_json`]; independent of the result-set schema
-/// ([`crate::output::SCHEMA_VERSION`]).
+/// ([`crate::resultset::SCHEMA_VERSION`]).
 pub const DIFF_SCHEMA_VERSION: u32 = 1;
 
 /// Metric names that are *measured* (wall-clock or engine-side
@@ -50,12 +55,36 @@ pub const MEASURED_ONLY_METRICS: &[&str] =
 const MEASURED_BACKEND: &str = "threads";
 
 /// `true` when `metric` of a cell keyed `key` is exempt from drift
-/// classification.
-fn metric_exempt(key: &CellKey, metric: &str) -> bool {
+/// classification. Trend analysis applies the same exemption so its
+/// output stays byte-identical across `--threads` too.
+pub(crate) fn metric_exempt(key: &CellKey, metric: &str) -> bool {
     key.backend == MEASURED_BACKEND || MEASURED_ONLY_METRICS.contains(&metric)
 }
 
-/// An error from reading or interpreting a result-set file.
+/// Copies `old`'s values onto `results` for every exemption-covered
+/// (cell, metric) pair the two share: `threads`-backend cells and the
+/// measured-only metrics re-measure on every run by nature, and their
+/// values are never drift-gated anyway. `test --record` runs this over
+/// the previous baseline so an unchanged suite regenerates the
+/// committed file *byte-identically* instead of churning timing noise;
+/// genuinely new or removed cells/metrics still come and go.
+pub fn preserve_measured_values(results: &mut crate::resultset::ResultSet, old: &BaselineSet) {
+    for record in &mut results.records {
+        let key = record.key();
+        let Some(old_metrics) = old.cells.get(&key) else {
+            continue;
+        };
+        for (name, value) in &mut record.metrics {
+            if metric_exempt(&key, name) {
+                if let Some(v) = old_metrics.get(name) {
+                    *value = *v;
+                }
+            }
+        }
+    }
+}
+
+/// An error from loading or comparing result sets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompareError(String);
 
@@ -67,465 +96,10 @@ impl fmt::Display for CompareError {
 
 impl std::error::Error for CompareError {}
 
-fn err(msg: impl Into<String>) -> CompareError {
-    CompareError(msg.into())
-}
-
-// === Minimal JSON reader ==================================================
-//
-// Just enough JSON for the sweep schema (and strict about it): objects,
-// arrays, strings with the standard escapes (including `\uXXXX` surrogate
-// pairs), numbers via `f64::from_str` (round-trips everything our writer
-// emits), `true`/`false`/`null`. No serde, no vendored crate.
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null` (our writer uses it for non-finite metric values).
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number.
-    Number(f64),
-    /// A string.
-    String(String),
-    /// An array.
-    Array(Vec<Json>),
-    /// An object, in document order (duplicate keys kept as-is).
-    Object(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Member lookup (first match) when `self` is an object.
-    #[must_use]
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
+impl From<ResultSetError> for CompareError {
+    fn from(e: ResultSetError) -> Self {
+        CompareError(e.to_string())
     }
-}
-
-struct Parser<'a> {
-    text: &'a str,
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Self {
-            text,
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn fail(&self, msg: &str) -> CompareError {
-        err(format!("JSON error at byte {}: {msg}", self.pos))
-    }
-
-    fn skip_ws(&mut self) {
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, expected: u8) -> Result<(), CompareError> {
-        if self.peek() == Some(expected) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.fail(&format!("expected `{}`", expected as char)))
-        }
-    }
-
-    fn eat_literal(&mut self, lit: &str, value: Json) -> Result<Json, CompareError> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(value)
-        } else {
-            Err(self.fail(&format!("expected `{lit}`")))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, CompareError> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::String(self.string()?)),
-            Some(b'n') => self.eat_literal("null", Json::Null),
-            Some(b't') => self.eat_literal("true", Json::Bool(true)),
-            Some(b'f') => self.eat_literal("false", Json::Bool(false)),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(other) => Err(self.fail(&format!("unexpected byte `{}`", other as char))),
-            None => Err(self.fail("unexpected end of input")),
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, CompareError> {
-        self.eat(b'{')?;
-        let mut members = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Object(members));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.eat(b':')?;
-            let value = self.value()?;
-            members.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Object(members));
-                }
-                _ => return Err(self.fail("expected `,` or `}` in object")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, CompareError> {
-        self.eat(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Array(items));
-        }
-        loop {
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Array(items));
-                }
-                _ => return Err(self.fail("expected `,` or `]` in array")),
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, CompareError> {
-        let slice = self
-            .bytes
-            .get(self.pos..self.pos + 4)
-            .ok_or_else(|| self.fail("truncated \\u escape"))?;
-        let s = std::str::from_utf8(slice).map_err(|_| self.fail("non-ASCII \\u escape"))?;
-        let code = u32::from_str_radix(s, 16).map_err(|_| self.fail("bad \\u escape"))?;
-        self.pos += 4;
-        Ok(code)
-    }
-
-    fn string(&mut self) -> Result<String, CompareError> {
-        self.eat(b'"')?;
-        let mut out = String::new();
-        let mut run_start = self.pos;
-        loop {
-            match self.peek() {
-                None => return Err(self.fail("unterminated string")),
-                Some(b'"') => {
-                    out.push_str(&self.text[run_start..self.pos]);
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    out.push_str(&self.text[run_start..self.pos]);
-                    self.pos += 1;
-                    let esc = self.peek().ok_or_else(|| self.fail("truncated escape"))?;
-                    self.pos += 1;
-                    match esc {
-                        b'"' => out.push('"'),
-                        b'\\' => out.push('\\'),
-                        b'/' => out.push('/'),
-                        b'b' => out.push('\u{8}'),
-                        b'f' => out.push('\u{c}'),
-                        b'n' => out.push('\n'),
-                        b'r' => out.push('\r'),
-                        b't' => out.push('\t'),
-                        b'u' => {
-                            let hi = self.hex4()?;
-                            let code = if (0xD800..=0xDBFF).contains(&hi) {
-                                // Surrogate pair: a second \uXXXX must follow.
-                                if self.peek() == Some(b'\\') {
-                                    self.pos += 1;
-                                    self.eat(b'u')?;
-                                    let lo = self.hex4()?;
-                                    if !(0xDC00..=0xDFFF).contains(&lo) {
-                                        return Err(self.fail("bad low surrogate"));
-                                    }
-                                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
-                                } else {
-                                    return Err(self.fail("lone high surrogate"));
-                                }
-                            } else {
-                                hi
-                            };
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| self.fail("invalid \\u code point"))?,
-                            );
-                        }
-                        other => {
-                            return Err(self.fail(&format!("unknown escape `\\{}`", other as char)));
-                        }
-                    }
-                    run_start = self.pos;
-                }
-                Some(b) if b < 0x20 => return Err(self.fail("raw control byte in string")),
-                Some(_) => {
-                    // Advance over one UTF-8 scalar (input is a valid &str,
-                    // so continuation bytes follow their leader).
-                    self.pos += 1;
-                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xC0 == 0x80) {
-                        self.pos += 1;
-                    }
-                }
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, CompareError> {
-        let start = self.pos;
-        while self
-            .peek()
-            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
-        {
-            self.pos += 1;
-        }
-        let s = &self.text[start..self.pos];
-        s.parse::<f64>()
-            .map(Json::Number)
-            .map_err(|_| err(format!("JSON error at byte {start}: bad number `{s}`")))
-    }
-}
-
-/// Parses a complete JSON document (one value plus optional trailing
-/// whitespace).
-///
-/// # Errors
-///
-/// Returns a [`CompareError`] naming the first byte offset that fails to
-/// parse.
-pub fn parse_json(text: &str) -> Result<Json, CompareError> {
-    let mut p = Parser::new(text);
-    let value = p.value()?;
-    p.skip_ws();
-    if p.pos != p.bytes.len() {
-        return Err(p.fail("trailing garbage after JSON value"));
-    }
-    Ok(value)
-}
-
-// === The sweep result-set schema ==========================================
-
-/// The identity of a cell for baseline matching: everything that names
-/// the scenario, none of what measures it.
-///
-/// The `adversary` field holds the *canonical* spelling: result-set
-/// parsing re-renders any key the grid grammar understands through
-/// [`crate::grid::AdversarySpec`], so a pre-normalization baseline
-/// containing `crash:07` matches a fresh run's `crash:7` instead of
-/// reporting a spurious removed/added pair. Keys the grammar does not
-/// know (future schema extensions) are kept verbatim.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
-pub struct CellKey {
-    /// Experiment id (`"e01"` … `"e15"`, `"sweep"`, …).
-    pub experiment: String,
-    /// Algorithm key.
-    pub algo: String,
-    /// Adversary key.
-    pub adversary: String,
-    /// Backend key (`"sim"` / `"threads"`); `"sim"` when the record
-    /// carries no `backend` field, so pre-backend baselines keep their
-    /// identities.
-    pub backend: String,
-    /// Processors.
-    pub p: u64,
-    /// Tasks.
-    pub t: u64,
-    /// Delay bound.
-    pub d: u64,
-    /// Replicates per cell.
-    pub seeds: u64,
-}
-
-impl fmt::Display for CellKey {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}/{} vs {} {}x{} d={} seeds={}",
-            self.experiment, self.algo, self.adversary, self.p, self.t, self.d, self.seeds
-        )?;
-        // The default backend stays invisible, so legacy (sim-only)
-        // renderings are unchanged.
-        if self.backend != "sim" {
-            write!(f, " backend={}", self.backend)?;
-        }
-        Ok(())
-    }
-}
-
-/// A result set reduced to what comparison needs: document metadata plus
-/// cells keyed for matching. Serialized `null` metric values (non-finite
-/// numbers) come back as `NaN`.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BaselineSet {
-    /// The file's `schema_version`.
-    pub schema_version: u64,
-    /// The file's `mode` (`"smoke"`, `"full"`, `"custom"`).
-    pub mode: String,
-    /// Metric maps keyed by cell identity.
-    pub cells: BTreeMap<CellKey, BTreeMap<String, f64>>,
-}
-
-impl BaselineSet {
-    /// Reduces an in-memory [`ResultSet`] through its own rendered JSON,
-    /// so comparison always sees exactly what serialization preserves.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the harness's own JSON fails to re-parse (a writer bug)
-    /// or if the set holds duplicate cell keys.
-    #[must_use]
-    pub fn of(results: &ResultSet) -> Self {
-        parse_result_set(&results.to_json()).expect("the harness's own JSON round-trips")
-    }
-}
-
-fn field<'a>(obj: &'a Json, key: &str, what: &str) -> Result<&'a Json, CompareError> {
-    obj.get(key)
-        .ok_or_else(|| err(format!("{what}: missing `{key}`")))
-}
-
-fn as_u64(value: &Json, what: &str) -> Result<u64, CompareError> {
-    match value {
-        Json::Number(v) if v.fract() == 0.0 && *v >= 0.0 && *v <= 2f64.powi(53) =>
-        {
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            Ok(*v as u64)
-        }
-        _ => Err(err(format!("{what}: expected a non-negative integer"))),
-    }
-}
-
-fn as_str<'a>(value: &'a Json, what: &str) -> Result<&'a str, CompareError> {
-    match value {
-        Json::String(s) => Ok(s),
-        _ => Err(err(format!("{what}: expected a string"))),
-    }
-}
-
-/// Parses a sweep result-set document (the schema written by
-/// [`ResultSet::to_json`]) into a [`BaselineSet`]. Unknown fields are
-/// ignored (forward compatibility); missing or mistyped required fields
-/// and duplicate cell keys are errors.
-///
-/// # Errors
-///
-/// Returns a [`CompareError`] describing the first structural problem.
-pub fn parse_result_set(text: &str) -> Result<BaselineSet, CompareError> {
-    let root = parse_json(text)?;
-    if !matches!(root, Json::Object(_)) {
-        return Err(err("result set: top level is not an object"));
-    }
-    let schema_version = as_u64(
-        field(&root, "schema_version", "result set")?,
-        "schema_version",
-    )?;
-    let mode = as_str(field(&root, "mode", "result set")?, "mode")?.to_string();
-    let records = match field(&root, "records", "result set")? {
-        Json::Array(items) => items,
-        _ => return Err(err("records: expected an array")),
-    };
-    let mut cells: BTreeMap<CellKey, BTreeMap<String, f64>> = BTreeMap::new();
-    for (i, record) in records.iter().enumerate() {
-        let what = format!("records[{i}]");
-        if !matches!(record, Json::Object(_)) {
-            return Err(err(format!("{what}: expected an object")));
-        }
-        let raw_adversary = as_str(field(record, "adversary", &what)?, &what)?;
-        let key = CellKey {
-            experiment: as_str(field(record, "experiment", &what)?, &what)?.to_string(),
-            algo: as_str(field(record, "algo", &what)?, &what)?.to_string(),
-            // Canonicalize through the grid grammar so differently spelled
-            // but identical adversaries (`crash:07` vs `crash:7`) match;
-            // unknown keys pass through untouched.
-            adversary: crate::grid::AdversarySpec::parse(raw_adversary)
-                .map_or_else(|_| raw_adversary.to_string(), |spec| spec.to_string()),
-            // Optional: absent on every pre-backend record (and on
-            // legacy, axis-omitted grids today), which keys as `sim`.
-            backend: match record.get("backend") {
-                Some(value) => as_str(value, &what)?.to_string(),
-                None => "sim".to_string(),
-            },
-            p: as_u64(field(record, "p", &what)?, &what)?,
-            t: as_u64(field(record, "t", &what)?, &what)?,
-            d: as_u64(field(record, "d", &what)?, &what)?,
-            seeds: as_u64(field(record, "seeds", &what)?, &what)?,
-        };
-        let metrics_obj = match field(record, "metrics", &what)? {
-            Json::Object(members) => members,
-            _ => return Err(err(format!("{what}: metrics is not an object"))),
-        };
-        let mut metrics = BTreeMap::new();
-        for (name, value) in metrics_obj {
-            let v = match value {
-                Json::Number(v) => *v,
-                Json::Null => f64::NAN,
-                _ => {
-                    return Err(err(format!("{what}: metric `{name}` is not a number")));
-                }
-            };
-            metrics.insert(name.clone(), v);
-        }
-        if cells.insert(key.clone(), metrics).is_some() {
-            // Two records can collapse onto one key through adversary
-            // canonicalization (e.g. a pre-normalization file holding both
-            // `crash:07` and `crash:7` cells); name that in the error so
-            // the "duplicate" is explicable when no literal dup exists.
-            let hint = if raw_adversary == key.adversary {
-                String::new()
-            } else {
-                format!(
-                    " (adversary `{raw_adversary}` canonicalizes to `{}`)",
-                    key.adversary
-                )
-            };
-            return Err(err(format!("duplicate cell `{key}`{hint}")));
-        }
-    }
-    Ok(BaselineSet {
-        schema_version,
-        mode,
-        cells,
-    })
-}
-
-/// Reads and parses a result-set file.
-///
-/// # Errors
-///
-/// Returns a [`CompareError`] for I/O problems or malformed content.
-pub fn load_result_set(path: &str) -> Result<BaselineSet, CompareError> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
-    parse_result_set(&text).map_err(|e| err(format!("{path}: {e}")))
 }
 
 // === Comparison ===========================================================
@@ -930,51 +504,6 @@ mod tests {
     }
 
     #[test]
-    fn json_parser_handles_the_value_zoo() {
-        let doc =
-            r#"{"a": [1, -2.5, 1e3, null, true, false], "b": {"nested": ""}, "c": "q\"\\\nA🦀"}"#;
-        let v = parse_json(doc).unwrap();
-        let a = match v.get("a").unwrap() {
-            Json::Array(items) => items,
-            other => panic!("{other:?}"),
-        };
-        assert_eq!(a[0], Json::Number(1.0));
-        assert_eq!(a[1], Json::Number(-2.5));
-        assert_eq!(a[2], Json::Number(1000.0));
-        assert_eq!(a[3], Json::Null);
-        assert_eq!(a[4], Json::Bool(true));
-        assert_eq!(a[5], Json::Bool(false));
-        assert_eq!(
-            v.get("b").unwrap().get("nested"),
-            Some(&Json::String(String::new()))
-        );
-        assert_eq!(
-            v.get("c").unwrap(),
-            &Json::String("q\"\\\nA\u{1F980}".to_string())
-        );
-    }
-
-    #[test]
-    fn json_parser_rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1,]",
-            "{\"a\" 1}",
-            "{\"a\": 1} trailing",
-            "\"unterminated",
-            "\"bad \\q escape\"",
-            "nul",
-            "+5",
-            "1.2.3",
-            "{\"a\": 1 \"b\": 2}",
-            "\"\\ud800 lone\"",
-        ] {
-            assert!(parse_json(bad).is_err(), "`{bad}` should fail");
-        }
-    }
-
-    #[test]
     fn parses_the_harness_schema() {
         let s = set(&[record("soloall", 1, 64.0), record("da:3", 2, 40.5)].join(", "));
         assert_eq!(s.schema_version, 1);
@@ -991,6 +520,72 @@ mod tests {
             seeds: 1,
         };
         assert_eq!(s.cells[&key]["mean_work"], 40.5);
+    }
+
+    #[test]
+    fn preserving_measured_values_makes_rerecording_byte_stable() {
+        use crate::grid::{AdversarySpec, Backend, Cell};
+        use crate::resultset::{Record, ResultSet};
+        use std::collections::BTreeMap;
+        let make = |backend, wall: f64, work: f64| {
+            let mut metrics = BTreeMap::new();
+            metrics.insert("mean_work".to_string(), work);
+            metrics.insert("wall_clock_ms".to_string(), wall);
+            Record {
+                experiment: "e17".to_string(),
+                cell: Cell {
+                    algo: "paran1".to_string(),
+                    adversary: AdversarySpec::Unit,
+                    p: 4,
+                    t: 16,
+                    d: 2,
+                    seeds: 1,
+                    cell_seed: 7,
+                    backend: Some(backend),
+                },
+                metrics,
+            }
+        };
+        let old = ResultSet {
+            mode: "smoke".to_string(),
+            records: vec![
+                make(Backend::Sim, 0.0, 64.0),
+                make(Backend::Threads, 1.25, 70.0),
+            ],
+        };
+        // A rerun re-measures wall clocks and thread counts...
+        let mut fresh = ResultSet {
+            mode: "smoke".to_string(),
+            records: vec![
+                make(Backend::Sim, 0.0, 64.0),
+                make(Backend::Threads, 9.75, 71.0),
+            ],
+        };
+        // ...but preserving the exempt values restores the old bytes.
+        preserve_measured_values(&mut fresh, &BaselineSet::of(&old));
+        assert_eq!(fresh.to_json(), old.to_json());
+        // A genuine sim-value change is NOT papered over.
+        let mut drifted_run = ResultSet {
+            mode: "smoke".to_string(),
+            records: vec![
+                make(Backend::Sim, 0.0, 65.0),
+                make(Backend::Threads, 1.25, 70.0),
+            ],
+        };
+        preserve_measured_values(&mut drifted_run, &BaselineSet::of(&old));
+        assert_ne!(drifted_run.to_json(), old.to_json());
+        assert_eq!(drifted_run.records[0].metrics["mean_work"], 65.0);
+        // New cells (absent from the old baseline) keep fresh values.
+        let mut added = ResultSet {
+            mode: "smoke".to_string(),
+            records: vec![make(Backend::Threads, 3.5, 80.0)],
+        };
+        let empty = ResultSet {
+            mode: "smoke".to_string(),
+            records: Vec::new(),
+        };
+        preserve_measured_values(&mut added, &BaselineSet::of(&empty));
+        assert_eq!(added.records[0].metrics["wall_clock_ms"], 3.5);
     }
 
     #[test]
@@ -1101,6 +696,8 @@ mod tests {
         // A pre-normalization baseline may spell numeric knobs with
         // leading zeros or an explicit default stagger; both must match a
         // fresh run's canonical key instead of reporting removed + added.
+        // The normalization itself has exactly one implementation:
+        // resultset::canonical_adversary.
         let cell = |adversary: &str, work: f64| {
             format!(
                 "{{\"experiment\": \"e12\", \"algo\": \"paran1\", \"adversary\": \"{adversary}\", \

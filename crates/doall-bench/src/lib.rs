@@ -18,10 +18,16 @@
 //!
 //! The module split mirrors the pipeline: [`scenario`] (the `*.scn` file
 //! format: grids + assertions) → [`grid`] (what to run) → [`sweep`] (run
-//! it, in parallel, deterministically) → [`output`] (tables / JSON /
-//! CSV), with [`suite`] orchestrating discovery, assertion evaluation,
-//! and the pass/fail report, and [`experiments`] holding the named
-//! derived-metric hooks plus the binary entry points.
+//! it, in parallel, deterministically) → [`resultset`] (the record
+//! schema and its deterministic JSON/CSV renderers) → [`output`] (which
+//! rendering, and where it goes), with [`suite`] orchestrating
+//! discovery, assertion evaluation, and the pass/fail report, and
+//! [`experiments`] holding the named derived-metric hooks plus the
+//! binary entry points. On top of the per-run pipeline sit the
+//! trajectory modules: [`mod@compare`] diffs two result sets, [`history`]
+//! keeps the append-only `HISTORY.jsonl` ledger (one entry per landed
+//! PR), and [`trend`] turns the ledger into sparklines, slopes, and the
+//! cumulative band gate behind `doall trend`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,18 +35,27 @@
 pub mod compare;
 pub mod experiments;
 pub mod grid;
+pub mod history;
 pub mod output;
+pub mod resultset;
 pub mod scenario;
 pub mod suite;
 pub mod sweep;
+pub mod trend;
 
 pub use compare::{
-    compare, compare_files, load_result_set, parse_result_set, BaselineSet, CellDiff, CellKey,
-    CellStatus, CompareError, Comparison, MetricDelta, DIFF_SCHEMA_VERSION,
+    compare, compare_files, load_result_set, parse_result_set, preserve_measured_values,
+    BaselineSet, CellDiff, CellKey, CellStatus, CompareError, Comparison, MetricDelta,
+    DIFF_SCHEMA_VERSION,
 };
 pub use experiments::{derive_by_name, experiment_main, scenarios_dir, suite_main, DeriveFn};
 pub use grid::{AdversarySpec, Cell, CrashStagger, Grid, GridError};
+pub use history::{
+    append_entry, load_history, parse_entry, parse_history, History, HistoryEntry, HistoryError,
+    HISTORY_SCHEMA_VERSION,
+};
 pub use output::{Flags, Format, Record, ResultSet, SCHEMA_VERSION};
+pub use resultset::{canonical_adversary, parse_json, Json, ResultSetError};
 pub use scenario::{Assertion, Scenario, ScenarioError};
 pub use suite::{
     load_dir, run_scenario, run_suite, AssertionFailure, ScenarioOutcome, SuiteConfig, SuiteReport,
@@ -48,6 +63,10 @@ pub use suite::{
 pub use sweep::{
     effective_shard_size, run_cells, run_cells_with_stats, CellMeasurement, SweepConfig,
     SweepError, SweepStats,
+};
+pub use trend::{
+    analyze, parse_band, slope, sparkline, Band, BandViolation, MetricTrend, TrendConfig,
+    TrendReport, TREND_SCHEMA_VERSION,
 };
 
 /// A Markdown table accumulated row by row and printed to stdout.

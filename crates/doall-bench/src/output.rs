@@ -1,211 +1,16 @@
-//! Machine-readable sweep results (JSON / CSV) plus the shared
-//! command-line flags every experiment binary understands.
+//! The shared command-line flags every experiment binary understands,
+//! plus format selection and delivery (`emit`) for the machine-readable
+//! sweep results.
 //!
-//! The JSON writer is deliberately deterministic: records keep cell
-//! order, metric maps are `BTreeMap`s (sorted keys), floats print via
-//! Rust's shortest-round-trip `Display`, and nothing time- or
-//! machine-dependent (timestamps, thread counts, durations) is ever
-//! serialized. Byte-identical output across thread counts is a tested
-//! invariant, and the committed `BENCH_sweep.json` baseline stays stable
-//! across machines.
+//! The result-set model and its deterministic JSON/CSV renderers live in
+//! [`crate::resultset`] — the single owner of the record schema. This
+//! module only decides *which* rendering to produce and *where* it goes
+//! (stdout or `--out`).
 
-use crate::grid::Cell;
-use crate::Table;
-use std::collections::{BTreeMap, BTreeSet};
-use std::fmt::Write as _;
-
-/// Version of the JSON schema; bump on breaking layout changes so CI's
-/// baseline diff fails loudly instead of drifting.
-pub const SCHEMA_VERSION: u32 = 1;
-
-/// One row of results: a cell plus its (measured and derived) metrics.
-#[derive(Debug, Clone, PartialEq)]
-pub struct Record {
-    /// Experiment id (`"e01"` … `"e15"`, or `"sweep"` for ad-hoc grids).
-    pub experiment: String,
-    /// The scenario the metrics describe.
-    pub cell: Cell,
-    /// Named metrics, sorted by name (mean/median/max work & messages,
-    /// completion counts, bounds, ratios, execution profiles, …).
-    pub metrics: BTreeMap<String, f64>,
-}
-
-/// A full sweep's records plus the mode that produced them.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ResultSet {
-    /// `"smoke"`, `"full"`, or `"custom"` (CLI grids).
-    pub mode: String,
-    /// All records, in cell order.
-    pub records: Vec<Record>,
-}
-
-pub(crate) fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\t' => out.push_str("\\t"),
-            '\r' => out.push_str("\\r"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-pub(crate) fn json_number(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        // JSON has no NaN/Infinity; null keeps the key visible.
-        "null".to_string()
-    }
-}
-
-impl ResultSet {
-    /// Renders the set as deterministic, pretty-printed JSON.
-    #[must_use]
-    pub fn to_json(&self) -> String {
-        let mut out = String::new();
-        out.push_str("{\n");
-        let _ = writeln!(out, "  \"schema_version\": {SCHEMA_VERSION},");
-        let _ = writeln!(out, "  \"generator\": \"doall-bench sweep harness\",");
-        let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(&self.mode));
-        out.push_str("  \"records\": [\n");
-        for (i, r) in self.records.iter().enumerate() {
-            // Backend-tagged cells (grids with an explicit `backends=`
-            // axis) carry a `backend` field; legacy sim-only records
-            // render exactly as before the axis existed, so committed
-            // baselines stay byte-identical.
-            let backend = match r.cell.backend {
-                Some(b) => format!("\"backend\": \"{b}\", "),
-                None => String::new(),
-            };
-            let _ = write!(
-                out,
-                "    {{\"experiment\": \"{}\", \"algo\": \"{}\", \"adversary\": \"{}\", \
-                 {}\"p\": {}, \"t\": {}, \"d\": {}, \"seeds\": {}, \"metrics\": {{",
-                json_escape(&r.experiment),
-                json_escape(&r.cell.algo),
-                json_escape(&r.cell.adversary.to_string()),
-                backend,
-                r.cell.p,
-                r.cell.t,
-                r.cell.d,
-                r.cell.seeds,
-            );
-            for (j, (name, value)) in r.metrics.iter().enumerate() {
-                let _ = write!(
-                    out,
-                    "{}\"{}\": {}",
-                    if j == 0 { "" } else { ", " },
-                    json_escape(name),
-                    json_number(*value)
-                );
-            }
-            out.push_str("}}");
-            out.push_str(if i + 1 == self.records.len() {
-                "\n"
-            } else {
-                ",\n"
-            });
-        }
-        out.push_str("  ]\n}\n");
-        out
-    }
-
-    /// Renders the set as long-format CSV: one row per (cell, metric).
-    /// Backend-tagged result sets gain a `backend` column after
-    /// `adversary`; legacy sim-only sets keep the pre-axis header.
-    #[must_use]
-    pub fn to_csv(&self) -> String {
-        let tagged = self.records.iter().any(|r| r.cell.backend.is_some());
-        let mut out = String::from(if tagged {
-            "experiment,algo,adversary,backend,p,t,d,seeds,metric,value\n"
-        } else {
-            "experiment,algo,adversary,p,t,d,seeds,metric,value\n"
-        });
-        for r in &self.records {
-            let backend = if tagged {
-                format!("{},", r.cell.effective_backend())
-            } else {
-                String::new()
-            };
-            for (name, value) in &r.metrics {
-                let _ = writeln!(
-                    out,
-                    "{},{},{},{}{},{},{},{},{},{}",
-                    r.experiment,
-                    r.cell.algo,
-                    r.cell.adversary,
-                    backend,
-                    r.cell.p,
-                    r.cell.t,
-                    r.cell.d,
-                    r.cell.seeds,
-                    name,
-                    json_number(*value)
-                );
-            }
-        }
-        out
-    }
-
-    /// Prints one Markdown table per experiment (records grouped in
-    /// order, metric columns the sorted union within each group).
-    pub fn print_tables(&self) {
-        let mut i = 0;
-        while i < self.records.len() {
-            let exp = &self.records[i].experiment;
-            let mut j = i;
-            while j < self.records.len() && &self.records[j].experiment == exp {
-                j += 1;
-            }
-            let group = &self.records[i..j];
-            let tagged = group.iter().any(|r| r.cell.backend.is_some());
-            let metric_names: BTreeSet<&String> =
-                group.iter().flat_map(|r| r.metrics.keys()).collect();
-            let mut headers = vec![
-                "algo".to_string(),
-                "adversary".to_string(),
-                "p".to_string(),
-                "t".to_string(),
-                "d".to_string(),
-            ];
-            if tagged {
-                headers.insert(2, "backend".to_string());
-            }
-            headers.extend(metric_names.iter().map(|s| (*s).clone()));
-            let mut table = Table::new(headers);
-            for r in group {
-                let mut row = vec![
-                    r.cell.algo.clone(),
-                    r.cell.adversary.to_string(),
-                    r.cell.p.to_string(),
-                    r.cell.t.to_string(),
-                    r.cell.d.to_string(),
-                ];
-                if tagged {
-                    row.insert(2, r.cell.effective_backend().to_string());
-                }
-                for name in &metric_names {
-                    row.push(match r.metrics.get(*name) {
-                        Some(v) => crate::fmt(*v),
-                        None => "—".to_string(),
-                    });
-                }
-                table.row(row);
-            }
-            table.print();
-            println!();
-            i = j;
-        }
-    }
-}
+// The schema types used to live here; the re-export keeps
+// `doall_bench::output::{Record, ResultSet, SCHEMA_VERSION}` paths
+// compiling.
+pub use crate::resultset::{Record, ResultSet, SCHEMA_VERSION};
 
 /// Output format selected by the shared flags.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -380,109 +185,6 @@ pub fn emit(results: &ResultSet, flags: &Flags) -> Result<(), String> {
 mod tests {
     use super::*;
 
-    fn record(exp: &str, algo: &str, d: u64, work: f64) -> Record {
-        let mut metrics = BTreeMap::new();
-        metrics.insert("mean_work".to_string(), work);
-        metrics.insert("ratio".to_string(), work / 64.0);
-        Record {
-            experiment: exp.to_string(),
-            cell: Cell {
-                algo: algo.to_string(),
-                adversary: crate::grid::AdversarySpec::Stage,
-                p: 4,
-                t: 16,
-                d,
-                seeds: 2,
-                cell_seed: 7,
-                backend: None,
-            },
-            metrics,
-        }
-    }
-
-    #[test]
-    fn json_is_deterministic_and_well_formed() {
-        let set = ResultSet {
-            mode: "smoke".to_string(),
-            records: vec![
-                record("e01", "soloall", 1, 64.0),
-                record("e01", "da:3", 2, 40.5),
-            ],
-        };
-        let a = set.to_json();
-        let b = set.to_json();
-        assert_eq!(a, b);
-        assert!(a.contains("\"schema_version\": 1"));
-        assert!(a.contains("\"mean_work\": 40.5"));
-        assert!(a.contains("\"algo\": \"da:3\""));
-        // Balanced braces/brackets as a cheap well-formedness check.
-        assert_eq!(a.matches('{').count(), a.matches('}').count());
-        assert_eq!(a.matches('[').count(), a.matches(']').count());
-    }
-
-    #[test]
-    fn json_handles_non_finite_and_escapes() {
-        let mut r = record("e01", "a\"b", 1, 1.0);
-        r.metrics.insert("bad".to_string(), f64::NAN);
-        let set = ResultSet {
-            mode: "full".to_string(),
-            records: vec![r],
-        };
-        let json = set.to_json();
-        assert!(json.contains("\\\"")); // escaped quote
-        assert!(json.contains("\"bad\": null"));
-    }
-
-    #[test]
-    fn backend_tagged_records_render_the_backend_everywhere() {
-        use crate::grid::Backend;
-        let mut sim = record("e17", "da:3", 2, 40.0);
-        sim.cell.backend = Some(Backend::Sim);
-        let mut threads = record("e17", "da:3", 2, 44.0);
-        threads.cell.backend = Some(Backend::Threads);
-        let set = ResultSet {
-            mode: "custom".to_string(),
-            records: vec![sim, threads],
-        };
-        let json = set.to_json();
-        assert!(json.contains("\"backend\": \"sim\""));
-        assert!(json.contains("\"backend\": \"threads\""));
-        let csv = set.to_csv();
-        assert!(csv.starts_with("experiment,algo,adversary,backend,p,t,d,seeds,metric,value\n"));
-        assert!(csv.contains("e17,da:3,stage,threads,4,16,2,2,mean_work,44"));
-        set.print_tables(); // smoke: backend column must not break width math
-    }
-
-    #[test]
-    fn untagged_records_render_the_legacy_schema() {
-        // No `backends=` axis ⇒ not a byte of output changes: the exact
-        // guarantee committed baselines rely on.
-        let set = ResultSet {
-            mode: "smoke".to_string(),
-            records: vec![record("e01", "soloall", 1, 64.0)],
-        };
-        assert!(!set.to_json().contains("backend"));
-        assert!(set
-            .to_csv()
-            .starts_with("experiment,algo,adversary,p,t,d,seeds,metric,value\n"));
-    }
-
-    #[test]
-    fn csv_has_one_row_per_metric() {
-        let set = ResultSet {
-            mode: "smoke".to_string(),
-            records: vec![record("e01", "soloall", 1, 64.0)],
-        };
-        let csv = set.to_csv();
-        let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 3, "header + 2 metrics");
-        assert_eq!(
-            lines[0],
-            "experiment,algo,adversary,p,t,d,seeds,metric,value"
-        );
-        assert!(lines[1].starts_with("e01,soloall,stage,4,16,1,2,mean_work,"));
-    }
-
     #[test]
     fn flags_parse_and_default() {
         let args = |s: &str| -> Vec<String> { s.split_whitespace().map(String::from).collect() };
@@ -534,14 +236,36 @@ mod tests {
     }
 
     #[test]
-    fn tables_print_without_panicking() {
+    fn emit_writes_the_selected_format_to_out() {
+        use std::collections::BTreeMap;
+        let mut metrics = BTreeMap::new();
+        metrics.insert("mean_work".to_string(), 64.0);
         let set = ResultSet {
             mode: "smoke".to_string(),
-            records: vec![
-                record("e01", "soloall", 1, 64.0),
-                record("e02", "da:3", 2, 9.0),
-            ],
+            records: vec![Record {
+                experiment: "e01".to_string(),
+                cell: crate::grid::Cell {
+                    algo: "soloall".to_string(),
+                    adversary: crate::grid::AdversarySpec::Stage,
+                    p: 4,
+                    t: 16,
+                    d: 1,
+                    seeds: 2,
+                    cell_seed: 7,
+                    backend: None,
+                },
+                metrics,
+            }],
         };
-        set.print_tables();
+        let path = std::env::temp_dir().join(format!("doall_emit_{}.json", std::process::id()));
+        let flags = Flags {
+            out: Some(path.to_string_lossy().into_owned()),
+            format: Format::Json,
+            ..Flags::default()
+        };
+        emit(&set, &flags).unwrap();
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(written, set.to_json());
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -13,7 +13,7 @@
 use crate::compare::Comparison;
 use crate::experiments::derive_by_name;
 use crate::grid::Cell;
-use crate::output::{Record, ResultSet};
+use crate::resultset::{Record, ResultSet};
 use crate::scenario::Scenario;
 use crate::sweep::{default_threads, run_cells, SweepConfig};
 use crate::Table;
@@ -438,7 +438,7 @@ impl SuiteReport {
     /// has its own schema via [`ResultSet::to_json`]).
     #[must_use]
     pub fn render_json(&self) -> String {
-        use crate::output::json_escape;
+        use crate::resultset::json_escape;
         let mut out = String::from("{\n");
         let _ = writeln!(out, "  \"mode\": \"{}\",", json_escape(&self.results.mode));
         let _ = writeln!(out, "  \"clean\": {},", self.is_clean());

@@ -1,0 +1,235 @@
+//! Integration tests for the perf-trajectory subsystem: the
+//! `HISTORY.jsonl` ledger round-trips byte-exactly (property-tested over
+//! random entries), trend output is byte-identical across `--threads`
+//! (the ledger's measured series never renders), and the acceptance
+//! scenario holds — a metric creeping +0.4% per entry passes every
+//! per-step `compare` at ±1% yet fails the cumulative ±1% band.
+
+use doall_bench::compare::{compare, BaselineSet};
+use doall_bench::grid::Grid;
+use doall_bench::history::{append_entry, parse_entry, parse_history, History, HistoryEntry};
+use doall_bench::resultset::{Record, ResultSet};
+use doall_bench::sweep::{run_cells, SweepConfig};
+use doall_bench::trend::{analyze, parse_band, TrendConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// Canonical adversary spellings plus a passthrough key the grid
+/// grammar does not know — both must survive the ledger unchanged.
+const ADVERSARIES: &[&str] = &["stage", "unit", "crash:37", "straggler:25:2", "quantum:3"];
+const BACKENDS: &[&str] = &["sim", "threads"];
+const METRICS: &[&str] = &["completed", "mean_messages", "mean_work", "wall_clock_ms"];
+
+/// A tiny splitmix-style generator so one proptest seed expands into a
+/// whole entry (the vendored proptest has no map/collection strategies).
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+
+    fn below(&mut self, span: u64) -> u64 {
+        self.next() % span.max(1)
+    }
+
+    /// A finite, exactly-representable value (dyadic fraction), so
+    /// equality through the shortest-round-trip renderer is exact.
+    fn value(&mut self) -> f64 {
+        let raw = self.below(1 << 20) as f64;
+        raw / 64.0
+    }
+}
+
+fn arbitrary_entry(commit: &str, seed: u64) -> HistoryEntry {
+    let mut rng = Lcg(seed);
+    let mut records = Vec::new();
+    for i in 0..1 + rng.below(5) {
+        let adversary = ADVERSARIES[rng.below(ADVERSARIES.len() as u64) as usize];
+        let backend = BACKENDS[rng.below(BACKENDS.len() as u64) as usize];
+        let mut metrics = String::new();
+        for (j, name) in METRICS.iter().enumerate() {
+            if j > 0 {
+                metrics.push_str(", ");
+            }
+            metrics.push_str(&format!("\"{name}\": {}", rng.value()));
+        }
+        records.push(format!(
+            "{{\"experiment\": \"e{i:02}\", \"algo\": \"soloall\", \
+             \"adversary\": \"{adversary}\", \"backend\": \"{backend}\", \
+             \"p\": {}, \"t\": 16, \"d\": 2, \"seeds\": 2, \"metrics\": {{{metrics}}}}}",
+            1 + rng.below(64),
+        ))
+    }
+    let text = format!(
+        "{{\"schema_version\": 1, \"generator\": \"x\", \"mode\": \"smoke\", \
+         \"records\": [{}]}}",
+        records.join(", ")
+    );
+    let set = doall_bench::resultset::parse_result_set(&text).unwrap();
+    let cells_per_sec = if rng.below(4) == 0 {
+        f64::NAN
+    } else {
+        rng.value()
+    };
+    HistoryEntry::from_result_set(commit, "2026-08-08T00:00:00Z", cells_per_sec, &set)
+}
+
+proptest! {
+    /// The ledger's core invariant: render ∘ parse ≡ id on bytes, so
+    /// appending never perturbs what earlier entries say.
+    #[test]
+    fn ledger_lines_round_trip_byte_exactly(seed in any::<u64>()) {
+        let entry = arbitrary_entry("abc123", seed);
+        let line = entry.render_line();
+        let parsed = parse_entry(&line).unwrap();
+        prop_assert_eq!(parsed.render_line(), line, "render ∘ parse drifted");
+        prop_assert_eq!(&parsed.cells, &entry.cells);
+        // And through a whole multi-entry ledger document.
+        let other = arbitrary_entry("def456", seed.wrapping_add(1));
+        let text = format!("{}\n{}\n", entry.render_line(), other.render_line());
+        let history = parse_history(&text).unwrap();
+        let rerendered: String = history
+            .entries
+            .iter()
+            .map(|e| format!("{}\n", e.render_line()))
+            .collect();
+        prop_assert_eq!(rerendered, text);
+    }
+}
+
+/// Runs the same tiny backend-tagged grid at a given thread count and
+/// folds it into a two-entry in-memory ledger with slightly different
+/// runs, exactly like two landed PRs would.
+fn ledger_at(threads: usize) -> History {
+    let grid = Grid::parse(
+        "algos=soloall,paran1 advs=unit,crash:50 backends=sim,threads \
+         shapes=4x16 ds=2 seeds=2 seed=7",
+    )
+    .unwrap();
+    let cfg = SweepConfig {
+        threads,
+        max_ticks: 100_000,
+        ..SweepConfig::default()
+    };
+    let entries = ["aaa", "bbb"]
+        .iter()
+        .map(|commit| {
+            let measurements = run_cells(&grid.cells(), &cfg).unwrap();
+            let records: Vec<Record> = measurements
+                .into_iter()
+                .map(|m| Record {
+                    experiment: "trend".to_string(),
+                    cell: m.cell.clone(),
+                    metrics: m.metrics(),
+                })
+                .collect();
+            let set = BaselineSet::of(&ResultSet {
+                mode: "smoke".to_string(),
+                records,
+            });
+            HistoryEntry::from_result_set(commit, "2026-08-08T00:00:00Z", f64::NAN, &set)
+        })
+        .collect();
+    History { entries }
+}
+
+#[test]
+fn trend_output_is_byte_identical_across_threads() {
+    let cfg = TrendConfig {
+        last: None,
+        bands: vec![
+            parse_band("mean_work=±1%").unwrap(),
+            parse_band("wall_clock_ms=±1%").unwrap(),
+        ],
+    };
+    let reports: Vec<_> = [1usize, 8]
+        .iter()
+        .map(|&threads| analyze(&ledger_at(threads), &cfg).unwrap())
+        .collect();
+    // The ledger *lines* legitimately differ (threads cells re-measure
+    // wall clocks), but everything trend renders or gates comes from the
+    // deterministic slice, so the reports agree byte for byte.
+    assert_eq!(
+        reports[0].render_text(),
+        reports[1].render_text(),
+        "trend text must not depend on --threads"
+    );
+    assert_eq!(reports[0].render_json(), reports[1].render_json());
+    assert!(reports[0].is_clean(), "{}", reports[0].render_text());
+    assert!(reports[0].checked > 0, "the sim cells are gated");
+}
+
+#[test]
+fn file_appends_round_trip_and_reject_duplicates() {
+    let path =
+        std::env::temp_dir().join(format!("doall_history_trend_{}.jsonl", std::process::id()));
+    let path = path.to_str().unwrap();
+    let _ = std::fs::remove_file(path);
+    let a = arbitrary_entry("aaa", 11);
+    let b = arbitrary_entry("bbb", 22);
+    append_entry(path, &a).unwrap();
+    let history = append_entry(path, &b).unwrap();
+    assert_eq!(history.entries.len(), 2);
+    let on_disk = std::fs::read_to_string(path).unwrap();
+    assert_eq!(
+        on_disk,
+        format!("{}\n{}\n", a.render_line(), b.render_line()),
+        "append is byte-deterministic"
+    );
+    // A duplicate commit is refused before the file is touched.
+    assert!(append_entry(path, &a).is_err());
+    assert_eq!(std::fs::read_to_string(path).unwrap(), on_disk);
+    std::fs::remove_file(path).unwrap();
+}
+
+/// The acceptance scenario from the issue: five ledger entries whose
+/// gated metric drifts +0.4% per entry. Every adjacent pair passes
+/// `doall compare` at ±1%, but `doall trend --band mean_work=±1%` fails
+/// because the cumulative drift is +1.6%.
+#[test]
+fn creeping_drift_passes_compare_but_fails_the_band() {
+    let entry = |commit: &str, work: f64| {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("mean_work".to_string(), work);
+        let text = format!(
+            "{{\"schema_version\": 1, \"generator\": \"x\", \"mode\": \"smoke\", \
+             \"records\": [{{\"experiment\": \"e01\", \"algo\": \"soloall\", \
+             \"adversary\": \"stage\", \"p\": 4, \"t\": 16, \"d\": 2, \"seeds\": 2, \
+             \"metrics\": {{\"mean_work\": {work}}}}}]}}"
+        );
+        let set = doall_bench::resultset::parse_result_set(&text).unwrap();
+        HistoryEntry::from_result_set(commit, "2026-08-08T00:00:00Z", f64::NAN, &set)
+    };
+    let values = [100.0, 100.4, 100.8, 101.2, 101.6];
+    let history = History {
+        entries: values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| entry(&format!("commit{i}"), *v))
+            .collect(),
+    };
+    // Step by step, the per-PR gate is green all five times.
+    for pair in history.entries.windows(2) {
+        let step = compare(&pair[0].to_baseline_set(), &pair[1].to_baseline_set(), 0.01);
+        assert!(step.is_clean(), "{}", step.render_text());
+    }
+    // Cumulatively, the trajectory gate is red.
+    let report = analyze(
+        &history,
+        &TrendConfig {
+            last: None,
+            bands: vec![parse_band("mean_work=±1%").unwrap()],
+        },
+    )
+    .unwrap();
+    assert!(!report.is_clean(), "{}", report.render_text());
+    assert_eq!(report.violations.len(), 1);
+    let v = &report.violations[0];
+    assert_eq!((v.first, v.last), (100.0, 101.6));
+    assert!(report.render_text().contains("band gate"));
+}

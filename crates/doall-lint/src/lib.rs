@@ -12,6 +12,7 @@
 //! | `D001` | no `HashMap`/`HashSet` in deterministic crates |
 //! | `D002` | wall-clock reads only in `doall-runtime`'s scheduler/transport/fault |
 //! | `D003` | no `std::env`/`thread::current` in deterministic crates |
+//! | `D004` | no float accumulation (`+=`, `.sum()`) over unordered iteration in deterministic crates |
 //! | `H001` | no `unwrap()`/`expect()`/`panic!` in library-crate non-test code |
 //! | `H002` | every workspace crate root carries `#![forbid(unsafe_code)]` |
 //!

@@ -64,6 +64,9 @@ pub enum RuleId {
     D002,
     /// No ambient process state in deterministic crates.
     D003,
+    /// No float accumulation over non-deterministically-ordered
+    /// iteration in deterministic crates.
+    D004,
     /// No panicking shortcuts in library-crate non-test code.
     H001,
     /// Every workspace crate root forbids `unsafe_code`.
@@ -72,10 +75,11 @@ pub enum RuleId {
 
 impl RuleId {
     /// Every rule, in diagnostic sort order.
-    pub const ALL: [RuleId; 5] = [
+    pub const ALL: [RuleId; 6] = [
         RuleId::D001,
         RuleId::D002,
         RuleId::D003,
+        RuleId::D004,
         RuleId::H001,
         RuleId::H002,
     ];
@@ -87,6 +91,7 @@ impl RuleId {
             RuleId::D001 => "D001",
             RuleId::D002 => "D002",
             RuleId::D003 => "D003",
+            RuleId::D004 => "D004",
             RuleId::H001 => "H001",
             RuleId::H002 => "H002",
         }
@@ -116,6 +121,9 @@ impl RuleId {
             RuleId::D001 => "no HashMap/HashSet in deterministic crates",
             RuleId::D002 => "wall-clock reads only in doall-runtime scheduler/transport/fault",
             RuleId::D003 => "no ambient env/thread identity in deterministic crates",
+            RuleId::D004 => {
+                "no float accumulation over unordered iteration in deterministic crates"
+            }
             RuleId::H001 => "no unwrap/expect/panic in library-crate non-test code",
             RuleId::H002 => "crate roots must carry #![forbid(unsafe_code)]",
         }
@@ -178,6 +186,22 @@ const D003_TOKENS: &[(&str, &str)] = &[
     ("env::var", "environment variable read `env::var`"),
     ("thread::current", "thread identity `thread::current`"),
 ];
+/// Iteration sources whose order is not reproducible (D004): hash-seed
+/// lotteries, filesystem enumeration order, channel arrival order, and
+/// parallel scheduling order. `f64` addition is not associative, so a
+/// sum folded in any of these orders is a different number on the next
+/// run — collect into a `Vec`, sort, then fold.
+const D004_SOURCES: &[(&str, &str)] = &[
+    ("HashMap", "hash-ordered `HashMap` iteration"),
+    ("HashSet", "hash-ordered `HashSet` iteration"),
+    ("read_dir", "directory-order `read_dir`"),
+    ("try_iter", "channel-arrival-order `try_iter`"),
+    ("recv", "channel-arrival-order `recv`"),
+    ("par_iter", "scheduling-order `par_iter`"),
+];
+/// Accumulation tokens D004 flags inside a tainted loop body.
+const D004_ACCUMULATORS: &[&str] = &["+=", ".sum("];
+
 const H001_TOKENS: &[(&str, &str)] = &[
     (".unwrap()", "panicking shortcut `.unwrap()`"),
     (".expect(", "panicking shortcut `.expect(…)`"),
@@ -220,6 +244,13 @@ pub fn scan_file(path: &str, masked: &MaskedFile, only: &[RuleId], out: &mut Vec
     let in_det = src_crate(path).is_some_and(|c| DET_CRATES.contains(&c));
     let in_lib = src_crate(path).is_some_and(|c| LIB_CRATES.contains(&c));
     let d002_applies = src_crate(path).is_some() && !D002_ALLOWED.contains(&path);
+
+    // D004 loop-taint state: brace depth, a loop head seen but not yet
+    // opened, and the stack of open blocks whose iteration order is not
+    // reproducible (innermost last).
+    let mut depth = 0usize;
+    let mut pending: Option<&str> = None;
+    let mut tainted: Vec<(usize, &str)> = Vec::new();
 
     for (idx, line) in masked.code_lines.iter().enumerate() {
         let lineno = idx + 1;
@@ -267,6 +298,68 @@ pub fn scan_file(path: &str, masked: &MaskedFile, only: &[RuleId], out: &mut Vec
                         src_crate(path).unwrap_or_default()
                     ),
                 );
+            }
+        }
+        if enabled(RuleId::D004) && in_det {
+            let source = D004_SOURCES.iter().find(|(n, _)| has_token(line, n));
+            let mut fired = false;
+            if let Some((_, what)) = source {
+                // Inline fold: the source and `.sum(` on one line.
+                if has_token(line, ".sum(") {
+                    push(
+                        RuleId::D004,
+                        "float `.sum()`",
+                        format!(
+                            "over {what} in deterministic crate `{}` — f64 addition is \
+                             not associative, so the order *is* the result; collect \
+                             into a Vec and sort before folding",
+                            src_crate(path).unwrap_or_default()
+                        ),
+                    );
+                    fired = true;
+                }
+                // A loop head over the source taints the block it opens.
+                if has_token(line, "for") || has_token(line, "while") {
+                    pending = Some(what);
+                }
+            }
+            // The taint active on this line: innermost open tainted
+            // block, or one opening on this very line (a one-line loop
+            // closes again during the brace scan below).
+            let mut active = tainted.last().map(|&(_, w)| w);
+            for ch in line.chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        if let Some(what) = pending.take() {
+                            tainted.push((depth, what));
+                            active = Some(what);
+                        }
+                    }
+                    '}' => {
+                        if tainted.last().is_some_and(|&(d, _)| d == depth) {
+                            tainted.pop();
+                        }
+                        depth = depth.saturating_sub(1);
+                    }
+                    _ => {}
+                }
+            }
+            if !fired {
+                if let Some(what) = active {
+                    if D004_ACCUMULATORS.iter().any(|n| has_token(line, n)) {
+                        push(
+                            RuleId::D004,
+                            "float accumulation",
+                            format!(
+                                "inside a loop over {what} in deterministic crate `{}` — \
+                                 f64 addition is not associative, so the order *is* the \
+                                 result; collect into a Vec and sort before folding",
+                                src_crate(path).unwrap_or_default()
+                            ),
+                        );
+                    }
+                }
             }
         }
         if enabled(RuleId::H001) && in_lib {
@@ -397,6 +490,45 @@ mod tests {
             run("crates/doall-bench/src/x.rs", boom).is_empty(),
             "harness is a driver, not a library crate"
         );
+    }
+
+    #[test]
+    fn d004_fires_on_accumulation_in_unordered_loops() {
+        // A multi-line channel-drain loop: the `+=` inside is flagged.
+        let multi = "pub fn total(rx: &Receiver<f64>) -> f64 {\n\
+                     let mut total = 0.0;\n\
+                     while let Ok(sample) = rx.recv() {\n\
+                     total += sample;\n\
+                     }\n\
+                     total\n\
+                     }\n";
+        let hits = run("crates/doall-bench/src/x.rs", multi);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!((hits[0].rule, hits[0].line), (RuleId::D004, 4));
+        // A one-line loop body still fires, on the loop line itself.
+        let one = "while let Ok(s) = rx.recv() { total += s; }\n";
+        assert_eq!(run("crates/doall-bench/src/x.rs", one).len(), 1);
+        // Inline `.sum()` over a drain fires without any loop keyword.
+        let inline = "let t: f64 = rx.try_iter().sum();\n";
+        let hits = run("crates/doall-sim/src/x.rs", inline);
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("try_iter"), "{}", hits[0].message);
+        // Sorted-Vec accumulation is the blessed pattern: silent.
+        let clean = "let mut samples: Vec<f64> = rx.try_iter().collect();\n\
+                     samples.sort_by(f64::total_cmp);\n\
+                     for s in &samples {\n\
+                     total += s;\n\
+                     }\n";
+        assert!(run("crates/doall-bench/src/x.rs", clean).is_empty());
+        // Accumulation after the tainted loop closed is clean too.
+        let after = "for s in rx.try_iter() {\n\
+                     v.push(s);\n\
+                     }\n\
+                     total += v[0];\n";
+        assert!(run("crates/doall-bench/src/x.rs", after).is_empty());
+        // Outside deterministic crates the rule does not apply.
+        assert!(run("crates/doall-runtime/src/x.rs", multi).is_empty());
+        assert!(run("src/cli.rs", multi).is_empty());
     }
 
     #[test]

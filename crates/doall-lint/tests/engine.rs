@@ -22,13 +22,18 @@ fn every_rule_fires_on_its_fixture_with_exact_anchors() {
     // The full expected set: one firing fixture per rule, the suppression
     // fixture's single uncovered line — and nothing else, which is the
     // clean-counterpart assertion (d001_clean.rs, scheduler.rs,
-    // d003_clean.rs, h001_clean.rs, masked.rs, and the perms crate root
-    // all stay silent).
+    // d003_clean.rs, d004_clean.rs, h001_clean.rs, masked.rs, and the
+    // perms crate root all stay silent).
     let want = [
         (
             "crates/doall-bench/src/d003_violation.rs".to_string(),
             3,
             RuleId::D003,
+        ),
+        (
+            "crates/doall-bench/src/d004_violation.rs".to_string(),
+            7,
+            RuleId::D004,
         ),
         ("crates/doall-core/src/lib.rs".to_string(), 1, RuleId::H002),
         (
@@ -53,8 +58,11 @@ fn every_rule_fires_on_its_fixture_with_exact_anchors() {
         ),
     ];
     assert_eq!(got, want, "fixture diagnostics drifted");
-    assert_eq!(report.files_scanned, 12);
-    assert_eq!(report.suppressed, 2, "same-line + line-above markers");
+    assert_eq!(report.files_scanned, 14);
+    assert_eq!(
+        report.suppressed, 3,
+        "same-line + line-above + D004 drain markers"
+    );
     assert!(!report.is_clean());
 }
 

@@ -1,0 +1,13 @@
+//! D004 fixture: the blessed pattern — drain, sort, then fold — stays
+//! silent, because the fold order no longer depends on arrival order.
+use std::sync::mpsc::Receiver;
+
+pub fn total(rx: &Receiver<f64>) -> f64 {
+    let mut samples: Vec<f64> = rx.try_iter().collect();
+    samples.sort_by(f64::total_cmp);
+    let mut total = 0.0f64;
+    for sample in &samples {
+        total += sample;
+    }
+    total
+}

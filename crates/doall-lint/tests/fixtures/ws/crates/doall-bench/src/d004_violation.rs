@@ -1,0 +1,15 @@
+//! D004 fixture: float accumulation in channel-order loops must fire.
+use std::sync::mpsc::Receiver;
+
+pub fn total(rx: &Receiver<f64>) -> f64 {
+    let mut total = 0.0f64;
+    while let Ok(sample) = rx.recv() {
+        total += sample;
+    }
+    total
+}
+
+pub fn drained(rx: &Receiver<f64>) -> f64 {
+    // lint:allow(D004) — fixture: the justified escape hatch
+    rx.try_iter().sum()
+}
